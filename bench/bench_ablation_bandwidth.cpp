@@ -1,0 +1,47 @@
+// EXP-A1 — Ablation of design decisions D2/D3: bandwidth sweep.
+//
+// Sweeps the provisioned NIC bandwidth from 10 Mbps to 1 Gbps and reports
+// each strategy's makespan for ALS and BLAST (at 20% scale so the sweep
+// stays quick).  Expected shapes:
+//   * ALS is transfer-bound at low bandwidth: real-time ~= transfer bound,
+//     pre-partition = transfer + compute; the gap closes as bandwidth grows
+//     and all strategies converge to the compute bound.
+//   * BLAST barely moves across the sweep (database staging only).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "workload/scenarios.hpp"
+
+using namespace frieda;
+using namespace frieda::workload;
+using core::PlacementStrategy;
+
+int main() {
+  const double mbps_points[] = {10, 50, 100, 250, 500, 1000};
+
+  TextTable table("Ablation A1: NIC bandwidth sweep (20% scale, seconds)",
+                  {"Bandwidth", "ALS pre-remote", "ALS real-time", "BLAST pre-remote",
+                   "BLAST real-time"});
+  CsvWriter csv({"mbps", "als_pre", "als_rt", "blast_pre", "blast_rt"});
+
+  for (const double mb : mbps_points) {
+    PaperScenarioOptions opt;
+    opt.scale = 0.2;
+    opt.nic = mbps(mb);
+    const auto als_pre = run_als(PlacementStrategy::kPrePartitionRemote, opt);
+    const auto als_rt = run_als(PlacementStrategy::kRealTime, opt);
+    const auto blast_pre = run_blast(PlacementStrategy::kPrePartitionRemote, opt);
+    const auto blast_rt = run_blast(PlacementStrategy::kRealTime, opt);
+    table.add_row({TextTable::num(mb, 0) + " Mbps", bench::secs(als_pre.makespan()),
+                   bench::secs(als_rt.makespan()), bench::secs(blast_pre.makespan()),
+                   bench::secs(blast_rt.makespan())});
+    csv.add_row_nums({mb, als_pre.makespan(), als_rt.makespan(), blast_pre.makespan(),
+                      blast_rt.makespan()});
+  }
+  table.add_note("D3: the master NIC is the staging bottleneck — ALS times scale ~1/bw "
+                 "until the compute bound takes over");
+  table.add_note("D2: the real-time advantage on ALS shrinks as bandwidth grows");
+  std::printf("%s", table.to_string().c_str());
+  bench::try_save(csv, "ablation_bandwidth.csv");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// EXP-A5 — Ablation: local-disk capacity vs. strategy viability.
+//
+// Section III.A: "Every virtual machine has a local disk that provides the
+// fastest I/O.  However local disk space is very limited."  This bench
+// sweeps the VM-local disk size against a 400 MB transfer-heavy dataset and
+// reports, per strategy, how many units could actually run:
+//   * no-partition-common needs the full dataset on every node;
+//   * pre-partition-remote needs each node's share to fit;
+//   * real-time with input eviction only ever needs a handful of units
+//     resident, so it degrades last.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace frieda;
+using namespace frieda::workload;
+using core::PlacementStrategy;
+
+namespace {
+
+core::RunReport run_case(Bytes disk, PlacementStrategy strategy, bool evict) {
+  sim::Simulation sim(31);
+  cluster::VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.disk_capacity = disk;
+  cluster.provision(type, 2);
+
+  SyntheticParams params;
+  params.file_count = 40;
+  params.mean_file_bytes = 10 * MB;  // 400 MB dataset
+  params.mean_task_seconds = 2.0;
+  SyntheticModel app(params);
+  auto units =
+      core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile, app.catalog());
+
+  core::RunOptions opt;
+  opt.strategy = strategy;
+  opt.evict_processed_inputs = evict;
+  core::FriedaRun run(cluster, app.catalog(), std::move(units), app,
+                      core::CommandTemplate("app $inp1"), opt);
+  return run.run();
+}
+
+std::string cell(const core::RunReport& r) {
+  return std::to_string(r.units_completed) + "/" + std::to_string(r.units_total);
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Ablation A5: local-disk capacity vs. completed units "
+                  "(400 MB dataset, 2 VMs)",
+                  {"disk per VM", "no-partition-common", "pre-partition-remote",
+                   "real-time (no evict)", "real-time (evict)"});
+  CsvWriter csv({"disk_mb", "common", "pre", "rt_noevict", "rt_evict"});
+
+  for (const Bytes disk : {40 * MB, 100 * MB, 220 * MB, 450 * MB, GiB}) {
+    const auto common = run_case(disk, PlacementStrategy::kNoPartitionCommon, false);
+    const auto pre = run_case(disk, PlacementStrategy::kPrePartitionRemote, false);
+    const auto rt_no = run_case(disk, PlacementStrategy::kRealTime, false);
+    const auto rt_ev = run_case(disk, PlacementStrategy::kRealTime, true);
+    table.add_row({std::to_string(disk / MB) + " MB", cell(common), cell(pre), cell(rt_no),
+                   cell(rt_ev)});
+    csv.add_row_nums({static_cast<double>(disk / MB),
+                      static_cast<double>(common.units_completed),
+                      static_cast<double>(pre.units_completed),
+                      static_cast<double>(rt_no.units_completed),
+                      static_cast<double>(rt_ev.units_completed)});
+  }
+  table.add_note("no-partition-common needs the full 400 MB per node; pre-partitioning "
+                 "needs the ~200 MB share; real-time with eviction completes everywhere "
+                 "the disk holds a few working-set units");
+  std::printf("%s", table.to_string().c_str());
+  bench::try_save(csv, "ablation_capacity.csv");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// EXP-A3 — Ablation of design decision D2: task-cost skew sweep.
+//
+// Real-time partitioning "inherently load-balances" (Section III.A).  This
+// bench quantifies that: a synthetic compute-bound workload with increasing
+// task-cost coefficient of variation, comparing pre-partitioned round-robin,
+// pre-partitioned size-balanced (LPT), and real-time dispatch.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace frieda;
+using namespace frieda::workload;
+using core::AssignmentPolicy;
+using core::PlacementStrategy;
+
+namespace {
+
+core::RunReport run_case(double cv, PlacementStrategy strategy, AssignmentPolicy policy) {
+  sim::Simulation sim(77);
+  cluster::VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  cluster.provision(type, 4);
+
+  SyntheticParams params;
+  params.file_count = 1024;
+  params.mean_file_bytes = 10 * KB;
+  params.mean_task_seconds = 4.0;
+  params.task_cv = cv;
+  params.seed = 1234;  // same costs for every strategy
+  SyntheticModel app(params);
+  auto units =
+      core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile, app.catalog());
+
+  core::RunOptions opt;
+  opt.strategy = strategy;
+  opt.assignment = policy;
+  core::FriedaRun run(cluster, app.catalog(), std::move(units), app,
+                      core::CommandTemplate("app $inp1"), opt);
+  return run.run();
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Ablation A3: task-cost skew vs. strategy (1024 tasks, 16 cores, seconds)",
+                  {"cost cv", "pre round-robin", "pre LPT(bytes)", "real-time",
+                   "real-time gain"});
+  CsvWriter csv({"cv", "pre_rr", "pre_lpt", "realtime"});
+
+  for (const double cv : {0.0, 0.25, 0.5, 1.0, 1.5, 2.0}) {
+    const auto rr =
+        run_case(cv, PlacementStrategy::kPrePartitionRemote, AssignmentPolicy::kRoundRobin);
+    const auto lpt = run_case(cv, PlacementStrategy::kPrePartitionRemote,
+                              AssignmentPolicy::kSizeBalanced);
+    const auto rt =
+        run_case(cv, PlacementStrategy::kRealTime, AssignmentPolicy::kRoundRobin);
+    table.add_row({TextTable::num(cv, 2), bench::secs(rr.makespan()),
+                   bench::secs(lpt.makespan()), bench::secs(rt.makespan()),
+                   TextTable::num((1.0 - rt.makespan() / rr.makespan()) * 100, 1) + "%"});
+    csv.add_row_nums({cv, rr.makespan(), lpt.makespan(), rt.makespan()});
+  }
+  table.add_note("D2: the real-time advantage grows with skew — static pre-partitioning "
+                 "pays the straggler's tail, pull-based dispatch does not");
+  table.add_note("LPT balances *bytes*, not costs, so it cannot fix compute skew either");
+  std::printf("%s", table.to_string().c_str());
+  bench::try_save(csv, "ablation_skew.csv");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// EXP-M0 — google-benchmark microbenchmarks of the substrate primitives:
+// event queue throughput, coroutine channel round trips, the max-min fair
+// solver, partition generation, and a full small FRIEDA run per iteration.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "net/fairshare.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace frieda;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(static_cast<double>((i * 2654435761u) % 1000), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulationDelays(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto ticker = [](sim::Simulation& s, int count) -> sim::Task<> {
+      for (int i = 0; i < count; ++i) co_await s.delay(1.0);
+    };
+    sim.spawn(ticker(sim, n));
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SimulationDelays)->Arg(1000)->Arg(10000);
+
+void BM_ChannelRoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Channel<int> ch(sim);
+    sim.spawn([](sim::Simulation& s, sim::Channel<int>& c, int count) -> sim::Task<> {
+      for (int i = 0; i < count; ++i) {
+        int v = i;
+        co_await c.send(std::move(v));
+        co_await s.delay(0.0);
+      }
+      c.close();
+    }(sim, ch, n));
+    sim.spawn([](sim::Channel<int>& c) -> sim::Task<> {
+      while (co_await c.recv()) {
+      }
+    }(ch));
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_ChannelRoundTrip)->Arg(1000);
+
+void BM_MaxMinFairSolve(benchmark::State& state) {
+  const std::size_t flows = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<Bandwidth> caps(32);
+  for (auto& c : caps) c = rng.uniform(1.0, 100.0);
+  std::vector<net::FlowConstraints> constraints(flows);
+  for (auto& fc : constraints) {
+    fc.resources = {rng.index(32), rng.index(32)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::max_min_fair_rates(caps, constraints));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_MaxMinFairSolve)->Arg(16)->Arg(256);
+
+void BM_PartitionGenerate(benchmark::State& state) {
+  storage::FileCatalog cat;
+  for (int i = 0; i < 2000; ++i) cat.add_file("f" + std::to_string(i), MB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::PartitionGenerator::generate(core::PartitionScheme::kPairwiseAdjacent, cat));
+  }
+}
+BENCHMARK(BM_PartitionGenerate);
+
+void BM_FullFriedaRun(benchmark::State& state) {
+  // A complete small real-time run per iteration: controller, master,
+  // 8 workers, 128 units, network staging and execution.
+  for (auto _ : state) {
+    sim::Simulation sim(11);
+    cluster::VirtualCluster cluster(sim);
+    auto type = cluster::c1_xlarge();
+    type.boot_time = 0.0;
+    cluster.provision(type, 2);
+    workload::SyntheticParams params;
+    params.file_count = 128;
+    params.mean_file_bytes = MB;
+    params.mean_task_seconds = 1.0;
+    workload::SyntheticModel app(params);
+    auto units = core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile,
+                                                    app.catalog());
+    core::RunOptions opt;
+    opt.strategy = core::PlacementStrategy::kRealTime;
+    core::FriedaRun run(cluster, app.catalog(), std::move(units), app,
+                        core::CommandTemplate("app $inp1"), opt);
+    const auto report = run.run();
+    benchmark::DoNotOptimize(report.units_completed);
+  }
+}
+BENCHMARK(BM_FullFriedaRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints an ASCII table with the paper's reported value next to
+// the value measured on our simulated substrate, plus the ratio, and writes
+// a CSV alongside (into the working directory) for plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "frieda/report.hpp"
+
+namespace frieda::bench {
+
+/// Format seconds with two decimals.
+inline std::string secs(double s) { return TextTable::num(s, 2); }
+
+/// Ratio column: measured / paper.
+inline std::string ratio(double measured, double paper) {
+  return paper > 0 ? TextTable::num(measured / paper, 2) + "x" : "-";
+}
+
+/// Write a CSV next to the binary's working directory, ignoring failures
+/// (benches may run from read-only checkouts).
+inline void try_save(const CsvWriter& csv, const std::string& path) {
+  try {
+    csv.save(path);
+    std::printf("  (series written to %s)\n", path.c_str());
+  } catch (...) {
+    std::printf("  (could not write %s; skipping CSV)\n", path.c_str());
+  }
+}
+
+}  // namespace frieda::bench

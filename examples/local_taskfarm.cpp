@@ -1,0 +1,78 @@
+// Real threaded task farm over real files — no simulation.
+//
+// Generates a dataset of actual files, then farms a checksum "analysis"
+// program across worker threads with the real-time strategy, staging each
+// file copy through a 40 MB/s token bucket (a scaled-down 100 Mbps NIC).
+// The same FRIEDA protocol types drive this run and the simulated ones.
+//
+// Usage: local_taskfarm [files] [file_kib] [workers]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "frieda/partition.hpp"
+#include "runtime/rt_engine.hpp"
+
+using namespace frieda;
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  const std::size_t files = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 24;
+  const std::size_t file_kib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 256;
+  const std::size_t workers = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 4;
+
+  const fs::path root = fs::temp_directory_path() / "frieda_taskfarm_demo";
+  fs::remove_all(root);
+  const std::string source = (root / "source").string();
+  std::printf("generating %zu x %zu KiB input files under %s ...\n", files, file_kib,
+              source.c_str());
+  rt::make_dataset(source, files, file_kib * KiB, /*seed=*/7);
+
+  rt::RtOptions options;
+  options.strategy = core::PlacementStrategy::kRealTime;
+  options.worker_count = workers;
+  options.staging_root = (root / "staging").string();
+  options.bandwidth = 40e6;  // throttle staging to 40 MB/s
+
+  rt::RtEngine engine(source, options);
+  auto units = core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile,
+                                                  engine.catalog());
+
+  // The "program": checksum every byte of the staged input.
+  const auto checksum_task = [](const core::WorkUnit&,
+                                const std::vector<std::string>& paths,
+                                const std::string& command) {
+    std::uint64_t sum = 0;
+    for (const auto& path : paths) {
+      std::ifstream in(path, std::ios::binary);
+      char buf[64 * 1024];
+      while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+        sum = std::accumulate(buf, buf + in.gcount(), sum,
+                              [](std::uint64_t a, char c) {
+                                return a * 1099511628211ull + static_cast<unsigned char>(c);
+                              });
+        if (in.gcount() < static_cast<std::streamsize>(sizeof(buf))) break;
+      }
+    }
+    (void)command;
+    return sum != 0;  // any real data checksums to nonzero
+  };
+
+  std::printf("farming %zu units over %zu worker threads (real-time strategy)...\n",
+              units.size(), workers);
+  const auto report =
+      engine.run(std::move(units), core::CommandTemplate("checksum $inp1"), checksum_task);
+
+  std::printf("makespan        %.3f s\n", report.makespan);
+  std::printf("bytes staged    %.2f MiB\n",
+              static_cast<double>(report.bytes_staged) / static_cast<double>(MiB));
+  std::printf("units           %zu completed, %zu failed\n", report.units_completed,
+              report.units_failed);
+  for (std::size_t w = 0; w < report.per_worker_completed.size(); ++w) {
+    std::printf("  worker %zu: %zu units\n", w, report.per_worker_completed[w]);
+  }
+  fs::remove_all(root);
+  return report.all_completed() ? 0 : 1;
+}

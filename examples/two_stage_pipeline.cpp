@@ -1,0 +1,73 @@
+// Two-stage beamline pipeline driven by the workflow layer (paper Section
+// VI: a higher-level engine chaining FRIEDA runs).
+//
+//   stage 1 "denoise":  every raw image -> cleaned image (half the bytes),
+//                       left on the worker that produced it;
+//   stage 2 "compare":  pairwise-adjacent comparison of cleaned images with
+//                       locality-aware dispatch, so work follows the data.
+#include <cstdio>
+
+#include "frieda/workflow.hpp"
+
+using namespace frieda;
+using core::PartitionScheme;
+using core::PlacementStrategy;
+using core::WorkflowStage;
+
+int main() {
+  sim::Simulation sim(2026);
+  cluster::VirtualCluster cluster(sim);
+  auto flavor = cluster::c1_xlarge();
+  flavor.boot_time = 0.0;
+  cluster.provision(flavor, 4);
+
+  storage::FileCatalog raw;
+  for (int i = 0; i < 64; ++i) {
+    raw.add_file("raw_" + std::to_string(i) + ".tif", 6 * MB);
+  }
+
+  core::Workflow pipeline(cluster);
+
+  WorkflowStage denoise;
+  denoise.name = "denoise";
+  denoise.scheme = PartitionScheme::kSingleFile;
+  denoise.command = "denoise --sigma 1.5 $inp1";
+  denoise.options.strategy = PlacementStrategy::kRealTime;
+  denoise.task_seconds = [](const core::WorkUnit& u, const storage::FileCatalog& cat) {
+    return static_cast<double>(u.input_bytes(cat)) / 4e6;  // 4 MB/s filter
+  };
+  denoise.output_bytes = [](const core::WorkUnit& u, const storage::FileCatalog& cat) {
+    return u.input_bytes(cat) / 2;
+  };
+  pipeline.add_stage(denoise);
+
+  WorkflowStage compare;
+  compare.name = "compare";
+  compare.scheme = PartitionScheme::kPairwiseAdjacent;
+  compare.command = "compare_images $inp1 $inp2";
+  compare.options.strategy = PlacementStrategy::kRealTime;
+  compare.options.locality_aware = true;  // run where the cleaned images are
+  compare.task_seconds = [](const core::WorkUnit& u, const storage::FileCatalog& cat) {
+    return static_cast<double>(u.input_bytes(cat)) / 7e6;
+  };
+  compare.output_bytes = [](const core::WorkUnit&, const storage::FileCatalog&) {
+    return Bytes{25 * KB};  // similarity report
+  };
+  pipeline.add_stage(compare);
+
+  const auto result = pipeline.execute(raw);
+
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const auto& r = result.stages[i];
+    std::printf("stage %zu (%s): %zu/%zu units in %.2f s, %.1f MB moved\n", i + 1,
+                r.app.c_str(), r.units_completed, r.units_total, r.makespan(),
+                static_cast<double>(r.bytes_moved) / 1e6);
+  }
+  std::printf("pipeline total: %.2f s, final outputs: %zu report files\n",
+              result.total_makespan, result.final_outputs.count());
+  std::printf("source egress: %.1f MB (stage 2 stayed on the workers)\n",
+              static_cast<double>(
+                  cluster.network().traffic(cluster.source_node()).bytes_sent) /
+                  1e6);
+  return result.all_completed() ? 0 : 1;
+}

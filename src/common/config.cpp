@@ -1,0 +1,122 @@
+#include "common/config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace frieda {
+
+Config Config::parse(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = strutil::trim(strutil::strip_comment(line, '#'));
+    if (stripped.empty()) continue;
+    if (stripped.front() == '[') {
+      FRIEDA_CHECK(stripped.back() == ']', "unterminated section at line " << lineno);
+      section = strutil::trim(stripped.substr(1, stripped.size() - 2));
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    FRIEDA_CHECK(eq != std::string::npos, "expected key=value at line " << lineno
+                                              << ": '" << stripped << "'");
+    std::string key = strutil::trim(stripped.substr(0, eq));
+    const std::string value = strutil::trim(stripped.substr(eq + 1));
+    FRIEDA_CHECK(!key.empty(), "empty key at line " << lineno);
+    if (!section.empty()) key = section + "." + key;
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Config Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  FRIEDA_CHECK(in.good(), "cannot open config file '" << path << "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+void Config::apply_overrides(const std::vector<std::string>& overrides) {
+  for (const auto& ov : overrides) {
+    const auto eq = ov.find('=');
+    FRIEDA_CHECK(eq != std::string::npos && eq > 0, "override must be key=value: '" << ov << "'");
+    set(strutil::trim(ov.substr(0, eq)), strutil::trim(ov.substr(eq + 1)));
+  }
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key, const std::string& def) const {
+  const auto v = get(key);
+  return v ? *v : def;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  const auto parsed = strutil::to_int(*v);
+  FRIEDA_CHECK(parsed.has_value(), "config key '" << key << "' is not an integer: '" << *v << "'");
+  return *parsed;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  const auto parsed = strutil::to_double(*v);
+  FRIEDA_CHECK(parsed.has_value(), "config key '" << key << "' is not a number: '" << *v << "'");
+  return *parsed;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) return def;
+  const auto parsed = strutil::to_bool(*v);
+  FRIEDA_CHECK(parsed.has_value(), "config key '" << key << "' is not a boolean: '" << *v << "'");
+  return *parsed;
+}
+
+std::string Config::require_string(const std::string& key) const {
+  const auto v = get(key);
+  FRIEDA_CHECK(v.has_value(), "missing required config key '" << key << "'");
+  return *v;
+}
+
+std::int64_t Config::require_int(const std::string& key) const {
+  FRIEDA_CHECK(has(key), "missing required config key '" << key << "'");
+  return get_int(key, 0);
+}
+
+double Config::require_double(const std::string& key) const {
+  FRIEDA_CHECK(has(key), "missing required config key '" << key << "'");
+  return get_double(key, 0.0);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : values_) os << k << " = " << v << "\n";
+  return os.str();
+}
+
+}  // namespace frieda

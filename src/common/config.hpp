@@ -1,0 +1,63 @@
+// A small typed key/value configuration store.
+//
+// FRIEDA's control plane is configuration-driven (partition scheme, placement
+// strategy, multicore setting, ...).  Config holds string key/value pairs with
+// typed getters, can be parsed from an INI-like text ("key = value" lines,
+// '#' comments, optional [section] prefixes folded into "section.key"), and
+// from command-line style overrides ("key=value").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frieda {
+
+/// Typed key/value configuration with INI-style parsing.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse from INI-like text. Later keys override earlier ones.
+  /// Throws FriedaError on malformed lines.
+  static Config parse(const std::string& text);
+
+  /// Load and parse a file. Throws FriedaError if unreadable.
+  static Config load_file(const std::string& path);
+
+  /// Set a key (overwrites).
+  void set(const std::string& key, const std::string& value);
+
+  /// Apply a list of "key=value" overrides (e.g. from argv).
+  void apply_overrides(const std::vector<std::string>& overrides);
+
+  /// True when the key is present.
+  bool has(const std::string& key) const;
+
+  /// Raw string lookup.
+  std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw FriedaError on unparsable values.
+  std::string get_string(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Typed getters for required keys. Throw FriedaError when missing.
+  std::string require_string(const std::string& key) const;
+  std::int64_t require_int(const std::string& key) const;
+  double require_double(const std::string& key) const;
+
+  /// All keys in sorted order (for diagnostics and round-tripping).
+  std::vector<std::string> keys() const;
+
+  /// Serialize back to "key = value" lines, sorted by key.
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace frieda

@@ -1,0 +1,77 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace frieda {
+
+namespace {
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header)) {
+  FRIEDA_CHECK(!header_.empty(), "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  FRIEDA_CHECK(row.size() == header_.size(), "CSV row width " << row.size()
+                                                 << " != header width " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_row_nums(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << quote(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << quote(row[i]);
+    }
+    os << '\n';
+  }
+}
+
+void CsvWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  FRIEDA_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write(out);
+  FRIEDA_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace frieda

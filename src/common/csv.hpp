@@ -1,0 +1,39 @@
+// CSV writer used by bench harnesses to dump series for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace frieda {
+
+/// Row-oriented CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  /// Construct with a header; every appended row must match its width.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Append a row of already-formatted cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: append a row of doubles (formatted with %.6g).
+  void add_row_nums(const std::vector<double>& row);
+
+  /// Number of data rows appended.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Serialize header + rows.
+  std::string to_string() const;
+
+  /// Write to a stream.
+  void write(std::ostream& os) const;
+
+  /// Write to a file path; throws FriedaError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace frieda

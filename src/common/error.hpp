@@ -1,0 +1,43 @@
+// Error-handling primitives for the FRIEDA codebase.
+//
+// Policy (matches the C++ Core Guidelines E.* rules): programming errors and
+// violated invariants throw FriedaError via FRIEDA_CHECK; expected runtime
+// failures (a worker dying, a transfer cancelled) are represented as status
+// values in the relevant APIs, never as exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace frieda {
+
+/// Exception thrown on violated invariants and misconfiguration.
+class FriedaError : public std::runtime_error {
+ public:
+  explicit FriedaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FRIEDA_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw FriedaError(os.str());
+}
+}  // namespace detail
+
+}  // namespace frieda
+
+/// Check an invariant; throws frieda::FriedaError with location on failure.
+/// Usage: FRIEDA_CHECK(x > 0, "x must be positive, got " << x);
+#define FRIEDA_CHECK(expr, ...)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream frieda_check_os_;                                 \
+      frieda_check_os_ << "" __VA_ARGS__;                                  \
+      ::frieda::detail::check_failed(#expr, __FILE__, __LINE__,            \
+                                     frieda_check_os_.str());              \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace frieda::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo:  return "INFO ";
+    case Level::kWarn:  return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+bool enabled(Level lvl) { return static_cast<int>(lvl) >= g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& component, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(lvl), component.c_str(), message.c_str());
+}
+
+Level parse_level(const std::string& name) {
+  if (name == "trace") return Level::kTrace;
+  if (name == "debug") return Level::kDebug;
+  if (name == "info") return Level::kInfo;
+  if (name == "warn") return Level::kWarn;
+  if (name == "error") return Level::kError;
+  if (name == "off") return Level::kOff;
+  return Level::kInfo;
+}
+
+}  // namespace frieda::log

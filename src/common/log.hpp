@@ -1,0 +1,44 @@
+// Minimal leveled, thread-safe logger.
+//
+// The simulator is single-threaded but the real runtime (src/runtime) logs
+// from many worker threads, so emission is serialized behind a mutex.  The
+// global level is an atomic so tests can silence modules cheaply.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace frieda::log {
+
+/// Severity levels, in increasing order of importance.
+enum class Level { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Set the global minimum level that will be emitted.
+void set_level(Level level);
+
+/// Current global minimum level.
+Level level();
+
+/// Returns true when a record at `lvl` would be emitted.
+bool enabled(Level lvl);
+
+/// Emit one record; `component` is a short subsystem tag such as "master".
+void write(Level lvl, const std::string& component, const std::string& message);
+
+/// Parse a level name ("trace", "debug", "info", "warn", "error", "off").
+/// Unknown names return kInfo.
+Level parse_level(const std::string& name);
+
+}  // namespace frieda::log
+
+/// Streaming log statement: FLOG(kInfo, "master", "sent " << n << " files");
+#define FLOG(lvl, component, stream_expr)                                \
+  do {                                                                   \
+    if (::frieda::log::enabled(::frieda::log::Level::lvl)) {             \
+      std::ostringstream frieda_log_os_;                                 \
+      frieda_log_os_ << stream_expr;                                     \
+      ::frieda::log::write(::frieda::log::Level::lvl, (component),       \
+                           frieda_log_os_.str());                        \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,93 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace frieda {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FRIEDA_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do { u1 = uniform(); } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  FRIEDA_CHECK(mean > 0.0 && cv >= 0.0, "lognormal needs mean>0, cv>=0");
+  if (cv == 0.0) return mean;
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+double Rng::exponential(double rate) {
+  FRIEDA_CHECK(rate > 0.0, "exponential rate must be > 0");
+  double u = 0.0;
+  do { u = uniform(); } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  FRIEDA_CHECK(n > 0, "index() on empty range");
+  return static_cast<std::size_t>(next_u64() % n);
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace frieda

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulator (task service times, file sizes,
+// failure times) draws from an Rng seeded from the scenario configuration, so
+// a scenario is exactly reproducible: same seed => bit-identical event
+// timeline.  The generator is xoshiro256** (public domain, Blackman/Vigna),
+// seeded through SplitMix64; it is fast, has 256-bit state, and passes BigCrush.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace frieda {
+
+/// Deterministic random number generator with convenience distributions.
+class Rng {
+ public:
+  /// Construct from a 64-bit seed (expanded through SplitMix64).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (cached second deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Lognormal parameterized by the *target* mean and coefficient of
+  /// variation of the resulting distribution (not of the underlying normal).
+  /// Used for skewed task service times (BLAST match-dependent cost).
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Exponential with the given rate (events per unit time). Rate must be > 0.
+  double exponential(double rate);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Pick an index in [0, n) uniformly. Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle of a vector, in place.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace frieda

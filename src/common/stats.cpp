@@ -1,0 +1,116 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace frieda {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::cv() const { return mean() == 0.0 ? 0.0 : stddev() / mean(); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  mean_ = (na * mean_ + nb * other.mean_) / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  dirty_ = true;
+}
+
+double SampleSet::percentile(double p) const {
+  FRIEDA_CHECK(!samples_.empty(), "percentile of empty sample set");
+  FRIEDA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  FRIEDA_CHECK(bins > 0 && hi > lo, "histogram needs bins>0 and hi>lo");
+}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  std::size_t i;
+  if (frac < 0.0) {
+    i = 0;
+  } else if (frac >= 1.0) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+    i = std::min(i, counts_.size() - 1);
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+std::size_t Histogram::bucket(std::size_t i) const {
+  FRIEDA_CHECK(i < counts_.size(), "bucket index out of range");
+  return counts_[i];
+}
+
+std::string Histogram::ascii(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  const double bw = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar = counts_[i] * width / peak;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "[" << (lo_ + bw * static_cast<double>(i)) << ", "
+       << (lo_ + bw * static_cast<double>(i + 1)) << ") " << std::string(bar, '#') << " "
+       << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace frieda

@@ -1,0 +1,107 @@
+// Running statistics and simple histograms for run reports and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace frieda {
+
+/// Online mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void add(double x);
+
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Coefficient of variation (stddev/mean, 0 when mean is 0).
+  double cv() const;
+
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects raw samples and answers percentile queries (sorts lazily).
+class SampleSet {
+ public:
+  /// Add one sample.
+  void add(double x);
+
+  /// Number of samples.
+  std::size_t count() const { return samples_.size(); }
+
+  /// p in [0,100]; nearest-rank percentile. Throws on empty set.
+  double percentile(double p) const;
+
+  /// Median (50th percentile).
+  double median() const { return percentile(50.0); }
+
+  /// Mean of all samples (0 when empty).
+  double mean() const;
+
+  /// Access raw samples (unsorted insertion order).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+class Histogram {
+ public:
+  /// Construct with `bins` equal-width buckets over [lo, hi). Requires bins>0, hi>lo.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Add one observation.
+  void add(double x);
+
+  /// Count in bucket i.
+  std::size_t bucket(std::size_t i) const;
+
+  /// Number of buckets.
+  std::size_t buckets() const { return counts_.size(); }
+
+  /// Total observations.
+  std::size_t total() const { return total_; }
+
+  /// Render a compact ASCII bar chart (for bench diagnostics).
+  std::string ascii(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace frieda

@@ -1,0 +1,111 @@
+#include "common/string_util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace frieda::strutil {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string strip_comment(const std::string& s, char comment_char) {
+  const auto pos = s.find(comment_char);
+  return pos == std::string::npos ? s : s.substr(0, pos);
+}
+
+std::vector<std::string> split(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == delim) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& delim) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::optional<std::int64_t> to_int(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno != 0 || end != t.c_str() + t.size()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> to_double(const std::string& s) {
+  const std::string t = trim(s);
+  if (t.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (errno != 0 || end != t.c_str() + t.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> to_bool(const std::string& s) {
+  const std::string t = lower(trim(s));
+  if (t == "true" || t == "yes" || t == "on" || t == "1") return true;
+  if (t == "false" || t == "no" || t == "off" || t == "0") return false;
+  return std::nullopt;
+}
+
+std::string lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 4) {
+    v /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, kUnits[unit]);
+  return buf;
+}
+
+std::string human_seconds(double seconds) {
+  char buf[48];
+  if (seconds >= 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", seconds / 3600.0);
+  } else if (seconds >= 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace frieda::strutil

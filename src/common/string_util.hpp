@@ -1,0 +1,44 @@
+// Small string helpers shared across modules (trimming, splitting, parsing).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frieda::strutil {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string trim(const std::string& s);
+
+/// Drop everything from the first occurrence of `comment_char` onward.
+std::string strip_comment(const std::string& s, char comment_char);
+
+/// Split on a delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Join with a delimiter.
+std::string join(const std::vector<std::string>& parts, const std::string& delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Parse an integer; nullopt on any trailing garbage or overflow.
+std::optional<std::int64_t> to_int(const std::string& s);
+
+/// Parse a double; nullopt on any trailing garbage.
+std::optional<double> to_double(const std::string& s);
+
+/// Parse a boolean: true/false, yes/no, on/off, 1/0 (case-insensitive).
+std::optional<bool> to_bool(const std::string& s);
+
+/// Lowercase an ASCII string.
+std::string lower(const std::string& s);
+
+/// Render a byte count with a binary-prefix unit ("7.00 MiB").
+std::string human_bytes(std::uint64_t bytes);
+
+/// Render seconds as "1234.5 s" or "2.1 h" as appropriate for reports.
+std::string human_seconds(double seconds);
+
+}  // namespace frieda::strutil

@@ -1,0 +1,60 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace frieda {
+
+TextTable::TextTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  FRIEDA_CHECK(!header_.empty(), "table header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  FRIEDA_CHECK(row.size() == header_.size(), "table row width " << row.size()
+                                                 << " != header width " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_note(std::string note) { notes_.push_back(std::move(note)); }
+
+std::string TextTable::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << ' ' << row[i] << std::string(widths[i] - row[i].size(), ' ') << " |";
+    }
+    return os.str();
+  };
+  const auto rule = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (auto w : widths) os << std::string(w + 2, '-') << "+";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << "\n== " << title_ << " ==\n";
+  os << rule() << "\n" << render_row(header_) << "\n" << rule() << "\n";
+  for (const auto& row : rows_) os << render_row(row) << "\n";
+  os << rule() << "\n";
+  for (const auto& note : notes_) os << "  * " << note << "\n";
+  return os.str();
+}
+
+}  // namespace frieda

@@ -1,0 +1,37 @@
+// ASCII table rendering for benchmark harness output.
+//
+// Each bench binary prints the paper's rows in a table of this form so the
+// reproduction can be eyeballed next to the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace frieda {
+
+/// Column-aligned ASCII table with a title, header, and footer notes.
+class TextTable {
+ public:
+  /// Construct with a title and column headers.
+  TextTable(std::string title, std::vector<std::string> header);
+
+  /// Append a row (must match header width).
+  void add_row(std::vector<std::string> row);
+
+  /// Append a free-form note printed under the table.
+  void add_note(std::string note);
+
+  /// Format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render the full table.
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+}  // namespace frieda

@@ -1,0 +1,78 @@
+#include "common/timeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace frieda {
+
+namespace {
+/// Union length of a set of [start, end) intervals.
+SimTime union_length(std::vector<std::pair<SimTime, SimTime>> spans) {
+  if (spans.empty()) return 0.0;
+  std::sort(spans.begin(), spans.end());
+  SimTime total = 0.0;
+  SimTime cur_lo = spans[0].first;
+  SimTime cur_hi = spans[0].second;
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    if (spans[i].first > cur_hi) {
+      total += cur_hi - cur_lo;
+      cur_lo = spans[i].first;
+      cur_hi = spans[i].second;
+    } else {
+      cur_hi = std::max(cur_hi, spans[i].second);
+    }
+  }
+  total += cur_hi - cur_lo;
+  return total;
+}
+}  // namespace
+
+void Timeline::record(ActivityKind kind, SimTime start, SimTime end, std::string label) {
+  FRIEDA_CHECK(end >= start, "interval ends before it starts: [" << start << ", " << end << ")");
+  intervals_.push_back(ActivityInterval{kind, start, end, std::move(label)});
+}
+
+SimTime Timeline::busy_time(ActivityKind kind) const {
+  std::vector<std::pair<SimTime, SimTime>> spans;
+  for (const auto& iv : intervals_) {
+    if (iv.kind == kind) spans.emplace_back(iv.start, iv.end);
+  }
+  return union_length(std::move(spans));
+}
+
+SimTime Timeline::overlap_time(ActivityKind a, ActivityKind b) const {
+  // overlap(A, B) = |A| + |B| - |A ∪ B|
+  std::vector<std::pair<SimTime, SimTime>> both;
+  for (const auto& iv : intervals_) {
+    if (iv.kind == a || iv.kind == b) both.emplace_back(iv.start, iv.end);
+  }
+  return busy_time(a) + busy_time(b) - union_length(std::move(both));
+}
+
+SimTime Timeline::first_start(ActivityKind kind) const {
+  SimTime best = 0.0;
+  bool found = false;
+  for (const auto& iv : intervals_) {
+    if (iv.kind != kind) continue;
+    if (!found || iv.start < best) best = iv.start;
+    found = true;
+  }
+  return best;
+}
+
+SimTime Timeline::last_end(ActivityKind kind) const {
+  SimTime best = 0.0;
+  for (const auto& iv : intervals_) {
+    if (iv.kind == kind) best = std::max(best, iv.end);
+  }
+  return best;
+}
+
+std::size_t Timeline::count(ActivityKind kind) const {
+  std::size_t n = 0;
+  for (const auto& iv : intervals_) n += (iv.kind == kind);
+  return n;
+}
+
+}  // namespace frieda

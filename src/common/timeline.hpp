@@ -1,0 +1,57 @@
+// Interval timeline for run decomposition.
+//
+// Records labeled [t0, t1) activity intervals (transfers, task executions,
+// staging phases) and answers the questions the paper's Figure 6 asks:
+// how much wall time was spent moving data, executing, and how much of the
+// two overlapped (the real-time strategy's advantage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace frieda {
+
+/// Activity categories tracked during a run.
+enum class ActivityKind {
+  kTransfer,  ///< network staging / data movement
+  kCompute,   ///< program instance execution
+  kStage,     ///< coarse phase markers
+};
+
+/// One recorded activity interval.
+struct ActivityInterval {
+  ActivityKind kind = ActivityKind::kTransfer;
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  std::string label;
+};
+
+/// Append-only interval log with union-length queries.
+class Timeline {
+ public:
+  /// Record one interval (end >= start enforced).
+  void record(ActivityKind kind, SimTime start, SimTime end, std::string label = {});
+
+  /// All intervals in insertion order.
+  const std::vector<ActivityInterval>& intervals() const { return intervals_; }
+
+  /// Total length of the union of intervals of `kind` (overlaps counted once).
+  SimTime busy_time(ActivityKind kind) const;
+
+  /// Length of time where both kinds are simultaneously active.
+  SimTime overlap_time(ActivityKind a, ActivityKind b) const;
+
+  /// Earliest start / latest end over intervals of `kind` (0 when none).
+  SimTime first_start(ActivityKind kind) const;
+  SimTime last_end(ActivityKind kind) const;
+
+  /// Number of intervals of `kind`.
+  std::size_t count(ActivityKind kind) const;
+
+ private:
+  std::vector<ActivityInterval> intervals_;
+};
+
+}  // namespace frieda

@@ -1,0 +1,57 @@
+// Strong-ish unit helpers used throughout the FRIEDA codebase.
+//
+// Simulation time is a double in seconds; data sizes are unsigned 64-bit
+// byte counts; bandwidth is bytes per second (double).  We deliberately keep
+// these as plain arithmetic types for performance in the discrete-event hot
+// path, and provide named constructors/constants so call sites stay readable
+// ("8 * MiB", "mbps(100)") and unit mistakes stay visible in review.
+#pragma once
+
+#include <cstdint>
+
+namespace frieda {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Data size in bytes.
+using Bytes = std::uint64_t;
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+inline constexpr Bytes KB = 1000ull;
+inline constexpr Bytes MB = 1000ull * 1000ull;
+inline constexpr Bytes GB = 1000ull * 1000ull * 1000ull;
+inline constexpr Bytes KiB = 1024ull;
+inline constexpr Bytes MiB = 1024ull * 1024ull;
+inline constexpr Bytes GiB = 1024ull * 1024ull * 1024ull;
+
+/// Convert a link rate expressed in megabits per second to bytes per second.
+/// The paper provisions 100 Mbps links between ExoGENI nodes (Section IV.A).
+constexpr Bandwidth mbps(double megabits_per_second) {
+  return megabits_per_second * 1e6 / 8.0;
+}
+
+/// Convert a rate in gigabits per second to bytes per second.
+constexpr Bandwidth gbps(double gigabits_per_second) {
+  return gigabits_per_second * 1e9 / 8.0;
+}
+
+/// Convert a rate in megabytes per second to bytes per second.
+constexpr Bandwidth mBps(double megabytes_per_second) {
+  return megabytes_per_second * 1e6;
+}
+
+/// Time it takes to move `bytes` at `rate` bytes/second (rate must be > 0).
+constexpr SimTime transfer_seconds(Bytes bytes, Bandwidth rate) {
+  return static_cast<double>(bytes) / rate;
+}
+
+/// Seconds expressed in minutes, for readable scenario configuration.
+constexpr SimTime minutes(double m) { return m * 60.0; }
+
+/// Seconds expressed in hours.
+constexpr SimTime hours(double h) { return h * 3600.0; }
+
+}  // namespace frieda

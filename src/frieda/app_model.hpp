@@ -1,0 +1,40 @@
+// Application model interface.
+//
+// FRIEDA executes unmodified programs; all it observes is how long a program
+// instance runs and which bytes it needs.  An AppModel captures exactly that
+// observable surface for the simulator: per-unit service time (deterministic
+// per unit, so strategies are compared on identical workloads), common data
+// that must be resident on every node before any instance runs (the BLAST
+// database), and per-unit output size (left on worker-local storage in the
+// paper's evaluation).
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+#include "frieda/types.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::core {
+
+/// Observable behavior of the application being farmed.
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  /// Display name for reports.
+  virtual const std::string& name() const = 0;
+
+  /// Service time (seconds on one core) of the given work unit.  Must be
+  /// deterministic: the same unit always costs the same.
+  virtual SimTime task_seconds(const WorkUnit& unit) const = 0;
+
+  /// Bytes of common data every node needs before executing anything
+  /// (0 when the application has no shared database).
+  virtual Bytes common_data_bytes() const = 0;
+
+  /// Output bytes a finished unit leaves on worker-local storage.
+  virtual Bytes output_bytes(const WorkUnit& unit) const = 0;
+};
+
+}  // namespace frieda::core

@@ -1,0 +1,69 @@
+#include "frieda/command.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace frieda::core {
+
+namespace {
+/// Returns N for "$inpN" tokens, 0 otherwise.
+std::size_t placeholder_index(const std::string& token) {
+  if (!strutil::starts_with(token, "$inp")) return 0;
+  const auto n = strutil::to_int(token.substr(4));
+  if (!n || *n <= 0) return 0;
+  return static_cast<std::size_t>(*n);
+}
+}  // namespace
+
+CommandTemplate::CommandTemplate(const std::string& spec) : spec_(strutil::trim(spec)) {
+  std::istringstream in(spec_);
+  std::string token;
+  while (in >> token) tokens_.push_back(token);
+  FRIEDA_CHECK(!tokens_.empty(), "empty command template");
+
+  std::set<std::size_t> seen;
+  for (const auto& t : tokens_) {
+    const std::size_t idx = placeholder_index(t);
+    if (idx == 0) {
+      FRIEDA_CHECK(!strutil::starts_with(t, "$inp"),
+                   "malformed input placeholder '" << t << "' (use $inp1, $inp2, ...)");
+      continue;
+    }
+    FRIEDA_CHECK(seen.insert(idx).second, "duplicate placeholder $inp" << idx);
+  }
+  arity_ = seen.size();
+  // Dense check: placeholders must be exactly {1..K}.
+  for (std::size_t i = 1; i <= arity_; ++i) {
+    FRIEDA_CHECK(seen.count(i), "placeholders must be dense: missing $inp" << i);
+  }
+}
+
+std::string CommandTemplate::bind(const std::vector<std::string>& paths) const {
+  FRIEDA_CHECK(paths.size() == arity_, "template expects " << arity_ << " inputs, got "
+                                                           << paths.size());
+  std::ostringstream out;
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    if (i) out << ' ';
+    const std::size_t idx = placeholder_index(tokens_[i]);
+    if (idx > 0) {
+      out << paths[idx - 1];
+    } else {
+      out << tokens_[i];
+    }
+  }
+  return out.str();
+}
+
+std::string CommandTemplate::bind_unit(const WorkUnit& unit,
+                                       const storage::FileCatalog& catalog,
+                                       const std::string& staging_dir) const {
+  std::vector<std::string> paths;
+  paths.reserve(unit.inputs.size());
+  for (const auto f : unit.inputs) paths.push_back(staging_dir + "/" + catalog.info(f).name);
+  return bind(paths);
+}
+
+}  // namespace frieda::core

@@ -1,0 +1,62 @@
+#include "frieda/report.hpp"
+
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+#include "common/table.hpp"
+
+namespace frieda::core {
+
+const char* to_string(UnitStatus status) {
+  switch (status) {
+    case UnitStatus::kPending: return "pending";
+    case UnitStatus::kInFlight: return "in-flight";
+    case UnitStatus::kCompleted: return "completed";
+    case UnitStatus::kFailed: return "failed";
+    case UnitStatus::kUnprocessed: return "unprocessed";
+  }
+  return "?";
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << "FRIEDA run: app=" << app << " strategy=" << strategy << " scheme=" << scheme << "\n";
+  os << "  makespan           " << strutil::human_seconds(makespan()) << "\n";
+  os << "  staging phase      " << strutil::human_seconds(staging_seconds()) << "\n";
+  os << "  transfer busy      " << strutil::human_seconds(transfer_busy()) << "\n";
+  os << "  compute busy       " << strutil::human_seconds(compute_busy()) << "\n";
+  os << "  transfer/compute overlap " << strutil::human_seconds(overlap()) << "\n";
+  os << "  units              " << units_completed << "/" << units_total << " completed, "
+     << units_failed << " failed, " << units_unprocessed << " unprocessed\n";
+  os << "  bytes moved        " << strutil::human_bytes(bytes_moved) << " in " << transfers
+     << " transfers\n";
+  os << "  workers            " << workers.size() << " (" << workers_isolated << " isolated)\n";
+  return os.str();
+}
+
+std::string RunReport::units_csv() const {
+  CsvWriter csv({"unit", "status", "worker", "attempts", "dispatched", "finished",
+                 "transfer_s", "exec_s"});
+  for (const auto& rec : units) {
+    csv.add_row({std::to_string(rec.unit), to_string(rec.status),
+                 std::to_string(rec.worker), std::to_string(rec.attempts),
+                 TextTable::num(rec.dispatched, 4), TextTable::num(rec.finished, 4),
+                 TextTable::num(rec.transfer_seconds, 4),
+                 TextTable::num(rec.exec_seconds, 4)});
+  }
+  return csv.to_string();
+}
+
+std::string RunReport::workers_csv() const {
+  CsvWriter csv({"worker", "vm", "slot", "units_completed", "busy_seconds", "isolated",
+                 "drained"});
+  for (const auto& w : workers) {
+    csv.add_row({std::to_string(w.worker), std::to_string(w.vm), std::to_string(w.slot),
+                 std::to_string(w.units_completed), TextTable::num(w.busy_seconds, 3),
+                 w.isolated ? "1" : "0", w.drained ? "1" : "0"});
+  }
+  return csv.to_string();
+}
+
+}  // namespace frieda::core

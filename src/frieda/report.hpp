@@ -1,0 +1,111 @@
+// Run reports: everything a FRIEDA execution measures.
+//
+// The bench harnesses read these fields to regenerate the paper's Table I
+// (total wall time per strategy) and Figure 6 (data-transfer vs. execution
+// decomposition, including the real-time strategy's transfer/compute
+// overlap).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timeline.hpp"
+#include "common/units.hpp"
+#include "frieda/types.hpp"
+
+namespace frieda::core {
+
+/// Terminal state of one work unit.
+enum class UnitStatus {
+  kPending,      ///< not yet dispatched (non-terminal)
+  kInFlight,     ///< dispatched, awaiting status (non-terminal)
+  kCompleted,    ///< executed successfully
+  kFailed,       ///< dispatched at least once but never completed
+  kUnprocessed,  ///< never dispatched (ran out of live workers)
+};
+
+/// Render a unit status name.
+const char* to_string(UnitStatus status);
+
+/// Per-unit outcome record.
+struct UnitRecord {
+  WorkUnitId unit = 0;
+  UnitStatus status = UnitStatus::kPending;
+  WorkerId worker = 0;              ///< last worker it was dispatched to
+  int attempts = 0;                 ///< dispatch attempts
+  SimTime dispatched = 0.0;         ///< last dispatch time
+  SimTime finished = 0.0;           ///< terminal time
+  SimTime transfer_seconds = 0.0;   ///< input staging time for this unit
+  SimTime exec_seconds = 0.0;       ///< program execution time
+};
+
+/// Per-worker summary.
+struct WorkerReport {
+  WorkerId worker = 0;
+  std::uint32_t vm = 0;
+  unsigned slot = 0;                ///< core index on the VM
+  std::size_t units_completed = 0;
+  SimTime busy_seconds = 0.0;       ///< total execution time on this worker
+  bool isolated = false;            ///< removed by the controller after failure
+  bool drained = false;             ///< removed by elastic scale-in
+};
+
+/// Full result of one FRIEDA run.
+struct RunReport {
+  std::string app;
+  std::string strategy;
+  std::string scheme;
+
+  SimTime ready_time = 0.0;    ///< all initial VMs booted
+  SimTime start_time = 0.0;    ///< data management began (== ready_time)
+  SimTime staging_end = 0.0;   ///< upfront staging finished (pre modes)
+  SimTime end_time = 0.0;      ///< all units terminal
+
+  std::size_t units_total = 0;
+  std::size_t units_completed = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_unprocessed = 0;
+
+  Bytes bytes_moved = 0;        ///< network bytes during the run
+  std::size_t transfers = 0;    ///< network transfers during the run
+  std::size_t workers_isolated = 0;
+
+  std::vector<UnitRecord> units;
+  std::vector<WorkerReport> workers;
+  Timeline timeline;
+
+  /// Wall time of the whole run (staging + execution).
+  SimTime makespan() const { return end_time - start_time; }
+
+  /// Duration of the upfront staging phase (0 for real-time/remote-read).
+  SimTime staging_seconds() const { return staging_end - start_time; }
+
+  /// Union time with at least one data transfer active.
+  SimTime transfer_busy() const { return timeline.busy_time(ActivityKind::kTransfer); }
+
+  /// Union time with at least one program instance running.
+  SimTime compute_busy() const { return timeline.busy_time(ActivityKind::kCompute); }
+
+  /// Time where transfers and computation ran simultaneously — the overlap
+  /// the real-time strategy exploits (Figure 6 discussion).
+  SimTime overlap() const {
+    return timeline.overlap_time(ActivityKind::kTransfer, ActivityKind::kCompute);
+  }
+
+  /// True when every unit completed.
+  bool all_completed() const { return units_completed == units_total; }
+
+  /// Multi-line human-readable summary.
+  std::string summary() const;
+
+  /// Per-unit records as CSV text (for Gantt-style plotting):
+  /// unit,status,worker,attempts,dispatched,finished,transfer_s,exec_s.
+  std::string units_csv() const;
+
+  /// Per-worker summary as CSV text:
+  /// worker,vm,slot,units_completed,busy_seconds,isolated,drained.
+  std::string workers_csv() const;
+};
+
+}  // namespace frieda::core

@@ -1,0 +1,264 @@
+// FriedaRun: one end-to-end FRIEDA execution over the simulated cloud.
+//
+// Wires the paper's three actors together (Figure 1):
+//
+//   controller  — control plane: initializes the master with the strategy
+//                 and partition info, forks workers, relays failure
+//                 isolation and elastic add/remove at runtime.
+//   master      — execution plane: stages data per the placement strategy,
+//                 farms work units to workers, serves real-time data
+//                 requests, and accounts every unit to a terminal state.
+//   workers     — one per core (multicore) or per VM: request data, execute
+//                 the program instance, report status.  Workers are
+//                 symmetric: identical code, different data.
+//
+// All three are coroutine processes on the shared Simulation; protocol
+// messages travel through sim::Channels exactly along the arrows of
+// Figures 2–4.
+//
+// Lifetime: construct over an already-provisioned VirtualCluster, optionally
+// seed replicas (pre-partition-local), optionally schedule failures or
+// elasticity on the simulation, then call run() once.  The FriedaRun must
+// outlive the simulation run (it registers cluster callbacks).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "frieda/app_model.hpp"
+#include "frieda/command.hpp"
+#include "frieda/protocol.hpp"
+#include "frieda/report.hpp"
+#include "frieda/types.hpp"
+#include "sim/channel.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::core {
+
+/// Per-run configuration (the controller's directives).
+struct RunOptions {
+  PlacementStrategy strategy = PlacementStrategy::kRealTime;
+  AssignmentPolicy assignment = AssignmentPolicy::kRoundRobin;
+  PartitionScheme scheme = PartitionScheme::kSingleFile;  ///< for reporting
+  bool multicore = true;            ///< one worker per core vs. per VM
+  bool requeue_on_failure = false;  ///< paper future-work extension: restart
+                                    ///< units lost to failed workers
+  int max_attempts = 3;             ///< dispatch attempts per unit (requeue cap)
+  int prefetch = 1;                 ///< assignments staged ahead per worker; the
+                                    ///< real-time pipelining that interleaves the
+                                    ///< transfer and execution phases (Section II.C)
+  SimTime dispatch_overhead = 0.005;  ///< master bookkeeping per assignment
+  SimTime control_latency = 0.002;    ///< controller->master message latency
+  std::string staging_dir = "/data";  ///< prefix for bound input paths
+  unsigned transfer_streams = 1;      ///< parallel streams per file transfer
+                                      ///< (GridFTP-style striping, Section II.C)
+  bool track_disk_capacity = true;    ///< account staged bytes against the
+                                      ///< VM-local disks (Section III.A)
+  bool evict_processed_inputs = true; ///< real-time mode may evict staged
+                                      ///< inputs of completed units when the
+                                      ///< local disk fills up
+  bool locality_aware = false;        ///< real-time dispatch prefers units
+                                      ///< whose inputs already reside on the
+                                      ///< requesting worker's node — the
+                                      ///< "network topology aware" dispatch
+                                      ///< for federated sites (Section I)
+  std::size_t locality_scan_depth = 64;  ///< queue prefix searched for a
+                                         ///< data-local unit
+  bool inputs_at_source = true;       ///< catalog files live in the source
+                                      ///< node's input directory; false when
+                                      ///< inputs are prior outputs scattered
+                                      ///< across worker VMs (workflows) —
+                                      ///< seed their locations with
+                                      ///< seed_replica() before run()
+};
+
+/// One configured execution; see file comment for the protocol walk-through.
+class FriedaRun {
+ public:
+  /// Construct over a provisioned cluster.  `units` come from the
+  /// PartitionGenerator; `command` must accept every unit's arity.
+  FriedaRun(cluster::VirtualCluster& cluster, const storage::FileCatalog& catalog,
+            std::vector<WorkUnit> units, const AppModel& app, CommandTemplate command,
+            RunOptions options);
+  ~FriedaRun();
+
+  FriedaRun(const FriedaRun&) = delete;
+  FriedaRun& operator=(const FriedaRun&) = delete;
+
+  /// Replica ground truth (inspectable by tests; seeded by pre_place_*).
+  storage::ReplicaMap& replicas() { return replicas_; }
+
+  /// Seed every input file on the given VMs' nodes — the "data packaged in
+  /// the VM image" configuration used by pre-partition-local (Figure 6a).
+  void pre_place_all_inputs(const std::vector<cluster::VmId>& vms);
+
+  /// Seed exactly each worker's assigned partition, using the same
+  /// assignment the master will compute (pre-partition-local, partitioned).
+  void pre_place_partitions(const std::vector<cluster::VmId>& vms);
+
+  /// Seed specific files on one VM (federated scenarios where prior outputs
+  /// already live at a remote site).
+  void pre_place_files(cluster::VmId vm, const std::vector<storage::FileId>& files);
+
+  /// Register a file that is already resident — and already accounted — on a
+  /// VM's disk, e.g. an output a previous run produced there.  Transfers may
+  /// then use that VM as a replica source.
+  void seed_replica(cluster::VmId vm, storage::FileId file);
+
+  /// Elastic scale-out: provision a VM and join its workers once booted.
+  /// Callable before run() or from an ActionPlan callback during it.
+  cluster::VmId add_vm(const cluster::InstanceType& type);
+
+  /// Elastic scale-in: drain the VM's workers, then terminate it.
+  void remove_vm(cluster::VmId vm);
+
+  /// Crash the master process now and restart it after `recovery_delay`
+  /// (the paper's future-work item: "monitoring and recovery of the master
+  /// through the controller-master communication channel", Section V.A).
+  ///
+  /// While down, protocol messages buffer (workers reconnect); work units
+  /// whose staging had not yet reached a worker are re-dispatched on
+  /// recovery; units already executing on workers are unaffected — the
+  /// execution plane survives a control/data-management outage.
+  /// Callable from an ActionPlan/arrange hook during the run.
+  void crash_master(SimTime recovery_delay);
+
+  /// Execute the scenario to completion; returns the full report.
+  /// Must be called exactly once.
+  RunReport run();
+
+ private:
+  // ---- controller events ----
+  struct EvVmFailed { cluster::VmId vm; };
+  struct EvVmRunning { cluster::VmId vm; };
+  struct EvRemoveVm { cluster::VmId vm; };
+  using ControllerEvent = std::variant<EvVmFailed, EvVmRunning, EvRemoveVm>;
+
+  using InboxMessage = std::variant<ControlMessage, WorkerMessage>;
+
+  struct WorkerCtx {
+    WorkerId id = 0;
+    cluster::VmId vm = 0;
+    unsigned slot = 0;
+    std::unique_ptr<sim::Channel<MasterMessage>> inbox;
+    std::deque<WorkUnitId> preassigned;
+    bool registered = false;
+    bool isolated = false;
+    bool draining = false;
+    bool finished = false;  ///< received NoMoreWork / exited
+    std::size_t unacked = 0;  ///< committed assignments awaiting ExecStatus
+    std::size_t completed = 0;
+    SimTime busy_seconds = 0.0;
+  };
+
+  // ---- roles ----
+  sim::Task<> controller_main();
+  sim::Task<> master_main();
+  sim::Task<> worker_main(WorkerId id);
+  sim::Task<> staging();
+  sim::Task<> stage_files_to_node(cluster::VmId vm, std::vector<storage::FileId> files);
+  sim::Task<> stage_common_data(cluster::VmId vm);
+  sim::Task<> dispatch(WorkerId worker, WorkUnitId unit);
+
+  // ---- master helpers ----
+  void handle_control(const ControlMessage& msg);
+  void handle_worker_msg(const WorkerMessage& msg);
+  void top_up(WorkerId worker);  ///< commit assignments up to the credit limit
+  void top_up_all();
+  std::optional<WorkUnitId> next_unit_for(WorkerCtx& ws);
+  void unit_terminal(WorkUnitId unit, UnitStatus status);
+  void unit_not_completed(WorkUnitId unit);  // requeue or fail per options
+  void isolate_worker(WorkerId worker);
+  void drain_worker(WorkerId worker);
+  void maybe_terminate_vm(cluster::VmId vm);
+  void check_progress_possible();
+  void finish_all();
+  // Disk-capacity accounting (Section III.A: "local disk space is very
+  // limited").  reserve_disk evicts unpinned processed inputs when allowed.
+  void recover_master();
+  void force_requeue(WorkUnitId unit);  ///< back to pending, whatever the options
+  /// Best replica to pull `file` from when staging to `target`: the source
+  /// directory if it has it, else a same-site replica, else any replica.
+  std::optional<net::NodeId> replica_source(storage::FileId file, net::NodeId target);
+  bool reserve_disk(cluster::VmId vm, Bytes size, bool allow_eviction);
+  bool evict_one_replica(cluster::VmId vm);
+  void note_staged(cluster::VmId vm, storage::FileId file);
+  void pin_unit(WorkUnitId unit, cluster::VmId vm);
+  void unpin_unit(WorkUnitId unit);
+  void invalidate_unstaged_preassignments();
+  bool all_terminal() const { return terminal_count_ == units_.size(); }
+  bool worker_live(const WorkerCtx& ws) const;
+  /// True for the strategies whose workers stream inputs at execution time
+  /// instead of having them staged (remote-read, shared-volume).
+  bool streams_inputs() const {
+    return options_.strategy == PlacementStrategy::kRemoteRead ||
+           options_.strategy == PlacementStrategy::kSharedVolume;
+  }
+  sim::Signal& node_ready(cluster::VmId vm);
+  void fork_workers_on(cluster::VmId vm, std::vector<WorkerId>& out);
+  unsigned workers_per_vm(cluster::VmId vm) const;
+
+  // ---- fixed inputs ----
+  cluster::VirtualCluster& cluster_;
+  sim::Simulation& sim_;
+  const storage::FileCatalog& catalog_;
+  std::vector<WorkUnit> units_;
+  const AppModel& app_;
+  CommandTemplate command_;
+  RunOptions options_;
+  std::vector<cluster::VmId> initial_vms_;
+
+  // ---- shared state ----
+  storage::ReplicaMap replicas_;
+  Timeline timeline_;
+  std::vector<std::unique_ptr<WorkerCtx>> workers_;
+  std::vector<UnitRecord> unit_state_;
+  std::deque<WorkUnitId> queue_;    ///< shared dispatch queue (real-time, requeues)
+  std::size_t terminal_count_ = 0;
+  bool initialized_ = false;        ///< StartMaster + partition + workers received
+  bool serving_ = false;            ///< staging done; requests are served live
+  bool common_preplaced_ = false;   ///< pre_place_*() seeded the common data too
+  bool finished_ = false;
+  std::size_t isolated_count_ = 0;
+  SimTime ready_time_ = 0.0;
+  SimTime staging_end_ = 0.0;
+  SimTime end_time_ = 0.0;
+  bool ran_ = false;
+
+  std::unique_ptr<sim::Channel<InboxMessage>> inbox_;
+  std::unique_ptr<sim::Channel<ControllerEvent>> events_;
+  std::unordered_map<cluster::VmId, std::unique_ptr<sim::Signal>> node_ready_;
+  std::unique_ptr<sim::Signal> master_done_;
+
+  // Disk accounting state: staged arrival order (eviction candidates), pin
+  // counts of inputs referenced by in-flight units, units' pin locations,
+  // and nodes whose common data could not be staged.
+  std::unordered_map<cluster::VmId, std::deque<storage::FileId>> staged_order_;
+  std::unordered_map<cluster::VmId, std::unordered_map<storage::FileId, int>> pins_;
+  std::unordered_map<WorkUnitId, cluster::VmId> unit_pin_vm_;
+  std::unordered_set<cluster::VmId> invalid_nodes_;
+  std::unordered_map<cluster::VmId, int> staging_active_;  ///< transfers in flight
+
+  // Master crash/recovery state: the epoch invalidates dispatches that were
+  // mid-staging when the master died; handed_[u] records whether unit u's
+  // assignment reached its worker (those survive the outage).
+  bool master_down_ = false;
+  std::uint64_t master_epoch_ = 0;
+  std::unique_ptr<sim::Signal> master_recovered_;
+  std::vector<char> handed_;
+  std::size_t master_crashes_ = 0;
+  std::size_t failure_token_ = 0;  ///< cluster observer registrations,
+  std::size_t running_token_ = 0;  ///< released in the destructor
+
+  Bytes bytes_baseline_ = 0;
+  std::uint64_t transfers_baseline_ = 0;
+};
+
+}  // namespace frieda::core

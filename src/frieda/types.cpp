@@ -1,0 +1,67 @@
+#include "frieda/types.hpp"
+
+namespace frieda::core {
+
+Bytes WorkUnit::input_bytes(const storage::FileCatalog& catalog) const {
+  Bytes total = 0;
+  for (const auto f : inputs) total += catalog.info(f).size;
+  return total;
+}
+
+const char* to_string(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kSingleFile: return "single-file";
+    case PartitionScheme::kOneToAll: return "one-to-all";
+    case PartitionScheme::kPairwiseAdjacent: return "pairwise-adjacent";
+    case PartitionScheme::kAllToAll: return "all-to-all";
+  }
+  return "?";
+}
+
+const char* to_string(PlacementStrategy strategy) {
+  switch (strategy) {
+    case PlacementStrategy::kNoPartitionCommon: return "no-partition-common";
+    case PlacementStrategy::kPrePartitionLocal: return "pre-partition-local";
+    case PlacementStrategy::kPrePartitionRemote: return "pre-partition-remote";
+    case PlacementStrategy::kRealTime: return "real-time";
+    case PlacementStrategy::kRemoteRead: return "remote-read";
+    case PlacementStrategy::kSharedVolume: return "shared-volume";
+  }
+  return "?";
+}
+
+const char* to_string(AssignmentPolicy policy) {
+  switch (policy) {
+    case AssignmentPolicy::kRoundRobin: return "round-robin";
+    case AssignmentPolicy::kBlock: return "block";
+    case AssignmentPolicy::kSizeBalanced: return "size-balanced";
+  }
+  return "?";
+}
+
+std::optional<PartitionScheme> parse_partition_scheme(const std::string& name) {
+  if (name == "single-file") return PartitionScheme::kSingleFile;
+  if (name == "one-to-all") return PartitionScheme::kOneToAll;
+  if (name == "pairwise-adjacent") return PartitionScheme::kPairwiseAdjacent;
+  if (name == "all-to-all") return PartitionScheme::kAllToAll;
+  return std::nullopt;
+}
+
+std::optional<PlacementStrategy> parse_placement_strategy(const std::string& name) {
+  if (name == "no-partition-common") return PlacementStrategy::kNoPartitionCommon;
+  if (name == "pre-partition-local") return PlacementStrategy::kPrePartitionLocal;
+  if (name == "pre-partition-remote") return PlacementStrategy::kPrePartitionRemote;
+  if (name == "real-time") return PlacementStrategy::kRealTime;
+  if (name == "remote-read") return PlacementStrategy::kRemoteRead;
+  if (name == "shared-volume") return PlacementStrategy::kSharedVolume;
+  return std::nullopt;
+}
+
+std::optional<AssignmentPolicy> parse_assignment_policy(const std::string& name) {
+  if (name == "round-robin") return AssignmentPolicy::kRoundRobin;
+  if (name == "block") return AssignmentPolicy::kBlock;
+  if (name == "size-balanced") return AssignmentPolicy::kSizeBalanced;
+  return std::nullopt;
+}
+
+}  // namespace frieda::core

@@ -1,0 +1,102 @@
+#include "frieda/workflow.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "frieda/partition.hpp"
+
+namespace frieda::core {
+
+namespace {
+
+/// Adapter binding a stage's cost/output callbacks to its catalog.
+class StageModel final : public AppModel {
+ public:
+  StageModel(const WorkflowStage& stage, const storage::FileCatalog& catalog)
+      : stage_(stage), catalog_(catalog) {}
+
+  const std::string& name() const override { return stage_.name; }
+  SimTime task_seconds(const WorkUnit& unit) const override {
+    return stage_.task_seconds(unit, catalog_);
+  }
+  Bytes common_data_bytes() const override { return stage_.common_data_bytes; }
+  Bytes output_bytes(const WorkUnit& unit) const override {
+    return stage_.output_bytes ? stage_.output_bytes(unit, catalog_) : 0;
+  }
+
+ private:
+  const WorkflowStage& stage_;
+  const storage::FileCatalog& catalog_;
+};
+
+}  // namespace
+
+bool WorkflowResult::all_completed() const {
+  for (const auto& report : stages) {
+    if (!report.all_completed()) return false;
+  }
+  return !stages.empty();
+}
+
+void Workflow::add_stage(WorkflowStage stage) {
+  FRIEDA_CHECK(!stage.name.empty(), "workflow stage needs a name");
+  FRIEDA_CHECK(static_cast<bool>(stage.task_seconds),
+               "workflow stage '" << stage.name << "' needs a task_seconds function");
+  stages_.push_back(std::move(stage));
+}
+
+WorkflowResult Workflow::execute(const storage::FileCatalog& inputs) {
+  FRIEDA_CHECK(!stages_.empty(), "workflow has no stages");
+
+  WorkflowResult result;
+  // Catalogs must outlive the runs referencing them; keep them all.
+  std::vector<std::unique_ptr<storage::FileCatalog>> catalogs;
+  catalogs.push_back(std::make_unique<storage::FileCatalog>(inputs));
+  // Where each current-catalog file physically lives (empty = source).
+  std::vector<std::pair<storage::FileId, cluster::VmId>> placed;
+
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    auto& stage = stages_[i];
+    const auto& catalog = *catalogs.back();
+    FRIEDA_CHECK(catalog.count() > 0,
+                 "stage '" << stage.name << "' has no inputs (previous stage produced none)");
+
+    auto units = PartitionGenerator::generate(stage.scheme, catalog);
+    auto model = std::make_unique<StageModel>(stage, catalog);
+
+    RunOptions options = stage.options;
+    options.scheme = stage.scheme;
+    options.inputs_at_source = (i == 0);
+
+    FriedaRun run(cluster_, catalog, units, *model, CommandTemplate(stage.command),
+                  options);
+    for (const auto& [file, vm] : placed) run.seed_replica(vm, file);
+
+    FLOG(kInfo, "workflow", "stage '" << stage.name << "' starting with "
+                                      << catalog.count() << " inputs");
+    auto report = run.run();
+    result.total_makespan += report.makespan();
+
+    // Build the next catalog from the completed units' outputs, which stay
+    // on the VM that produced them.
+    auto next = std::make_unique<storage::FileCatalog>();
+    std::vector<std::pair<storage::FileId, cluster::VmId>> next_placed;
+    for (const auto& rec : report.units) {
+      if (rec.status != UnitStatus::kCompleted) continue;
+      const Bytes out = model->output_bytes(units[rec.unit]);
+      if (out == 0) continue;
+      const auto id = next->add_file(
+          stage.name + "_out_" + std::to_string(rec.unit) + ".dat", out);
+      next_placed.emplace_back(id, report.workers[rec.worker].vm);
+    }
+    result.stages.push_back(std::move(report));
+    catalogs.push_back(std::move(next));
+    placed = std::move(next_placed);
+  }
+
+  result.final_outputs = *catalogs.back();
+  return result;
+}
+
+}  // namespace frieda::core

@@ -1,0 +1,80 @@
+// Workflow driver: chained FRIEDA stages (paper Section VI).
+//
+// "FRIEDA supports only data-parallel tasks.  However, it is possible for a
+//  higher-level workflow engine to interact with FRIEDA to control parts or
+//  all of its workflow execution."
+//
+// Workflow is that higher-level engine for linear pipelines: each stage is
+// one FRIEDA run; its per-unit outputs become the next stage's input
+// catalog.  Outputs stay on the VM that produced them (the paper's local-
+// output mode), so stage i+1 runs with inputs_at_source=false, seeded
+// replicas, and — optionally — locality-aware dispatch that sends work to
+// where the previous stage left the data.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "frieda/report.hpp"
+#include "frieda/run.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::core {
+
+/// One stage of a linear data-parallel workflow.
+struct WorkflowStage {
+  std::string name;
+  PartitionScheme scheme = PartitionScheme::kSingleFile;
+  std::string command = "app $inp1";
+  RunOptions options;  ///< strategy etc.; inputs_at_source is managed by the
+                       ///< driver (true only for the first stage)
+
+  /// Service time of one unit over the stage's catalog (required).
+  std::function<SimTime(const WorkUnit&, const storage::FileCatalog&)> task_seconds;
+
+  /// Output size of one unit (required for every stage but the last; a
+  /// stage with no output function produces an empty final catalog).
+  std::function<Bytes(const WorkUnit&, const storage::FileCatalog&)> output_bytes;
+
+  /// Common data every node needs before this stage runs.
+  Bytes common_data_bytes = 0;
+};
+
+/// Per-stage and end-to-end results.
+struct WorkflowResult {
+  std::vector<RunReport> stages;
+  storage::FileCatalog final_outputs;  ///< catalog produced by the last stage
+  SimTime total_makespan = 0.0;        ///< sum of stage makespans
+
+  /// True when every unit of every stage completed.
+  bool all_completed() const;
+};
+
+/// Linear workflow executor over one cluster.
+class Workflow {
+ public:
+  /// Construct over a provisioned cluster (shared by all stages).
+  explicit Workflow(cluster::VirtualCluster& cluster) : cluster_(cluster) {}
+
+  Workflow(const Workflow&) = delete;
+  Workflow& operator=(const Workflow&) = delete;
+
+  /// Append a stage; stages execute in insertion order.
+  void add_stage(WorkflowStage stage);
+
+  /// Number of configured stages.
+  std::size_t stage_count() const { return stages_.size(); }
+
+  /// Run all stages to completion over `inputs` (resident at the source).
+  /// Failed units simply produce no output for the next stage; the result
+  /// records per-stage reports.
+  WorkflowResult execute(const storage::FileCatalog& inputs);
+
+ private:
+  cluster::VirtualCluster& cluster_;
+  std::vector<WorkflowStage> stages_;
+};
+
+}  // namespace frieda::core

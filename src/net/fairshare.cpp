@@ -1,0 +1,70 @@
+#include "net/fairshare.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace frieda::net {
+
+std::vector<Bandwidth> max_min_fair_rates(const std::vector<Bandwidth>& capacities,
+                                          const std::vector<FlowConstraints>& flows) {
+  const std::size_t nr = capacities.size();
+  const std::size_t nf = flows.size();
+  std::vector<Bandwidth> rate(nf, 0.0);
+  if (nf == 0) return rate;
+
+  // Residual capacity per resource and number of unfrozen flows crossing it.
+  std::vector<double> residual(capacities);
+  std::vector<std::size_t> unfrozen_count(nr, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    FRIEDA_CHECK(!flows[f].resources.empty(), "flow " << f << " traverses no resources");
+    for (std::size_t r : flows[f].resources) {
+      FRIEDA_CHECK(r < nr, "flow " << f << " references resource " << r << " out of range");
+      ++unfrozen_count[r];
+    }
+  }
+
+  std::vector<bool> frozen(nf, false);
+  std::size_t remaining = nf;
+  while (remaining > 0) {
+    // Find the bottleneck resource: smallest equal share among resources
+    // that still carry unfrozen flows.
+    double best_share = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (unfrozen_count[r] == 0) continue;
+      const double share = std::max(residual[r], 0.0) / static_cast<double>(unfrozen_count[r]);
+      best_share = std::min(best_share, share);
+    }
+    if (best_share == std::numeric_limits<double>::infinity()) break;  // orphan flows
+
+    // Freeze every unfrozen flow that crosses a resource at the bottleneck
+    // share.  (All resources whose share equals best_share are saturated.)
+    bool froze_any = false;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool bottlenecked = false;
+      for (std::size_t r : flows[f].resources) {
+        if (unfrozen_count[r] == 0) continue;
+        const double share =
+            std::max(residual[r], 0.0) / static_cast<double>(unfrozen_count[r]);
+        if (share <= best_share * (1.0 + 1e-12)) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      if (!bottlenecked) continue;
+      frozen[f] = true;
+      froze_any = true;
+      rate[f] = best_share;
+      --remaining;
+      for (std::size_t r : flows[f].resources) {
+        residual[r] -= best_share;
+        --unfrozen_count[r];
+      }
+    }
+    FRIEDA_CHECK(froze_any, "max-min solver failed to make progress");
+  }
+  return rate;
+}
+
+}  // namespace frieda::net

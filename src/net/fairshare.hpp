@@ -1,0 +1,32 @@
+// Max-min fair bandwidth allocation (progressive filling / water-filling).
+//
+// Each active flow traverses a set of capacity-constrained resources (source
+// NIC egress, destination NIC ingress, optionally a provisioned pair limit
+// and a backbone cap).  The solver assigns every flow the max-min fair rate:
+// repeatedly find the most-constrained resource, freeze its flows at the
+// equal share it can afford, remove them, and continue.  This is the standard
+// fluid model for TCP-like sharing and is what makes the master's NIC the
+// staging bottleneck in the paper's experiments (Section IV).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace frieda::net {
+
+/// One flow's demand: the indices of the resources it traverses.
+struct FlowConstraints {
+  std::vector<std::size_t> resources;
+};
+
+/// Solve max-min fair rates.
+///
+/// `capacities[r]` is resource r's capacity in bytes/second; `flows[f]` lists
+/// the resources flow f traverses (must be non-empty, indices in range).
+/// Returns one rate per flow.  Flows through zero-capacity resources get 0.
+std::vector<Bandwidth> max_min_fair_rates(const std::vector<Bandwidth>& capacities,
+                                          const std::vector<FlowConstraints>& flows);
+
+}  // namespace frieda::net

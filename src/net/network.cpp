@@ -1,0 +1,219 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "net/fairshare.hpp"
+
+namespace frieda::net {
+
+namespace {
+// A flow is considered drained when less than this many bytes remain; absorbs
+// fluid-model floating point drift.
+constexpr double kEpsilonBytes = 1e-6;
+// Completion events are never scheduled closer than this, so the clock always
+// makes representable progress (guards against the asymptotic-drain loop
+// where remaining/rate underflows the current time's ulp).
+constexpr double kMinTimeStep = 1e-9;
+}  // namespace
+
+Network::Network(sim::Simulation& sim, Topology topology, SimTime latency, Bandwidth loopback)
+    : sim_(sim), topology_(std::move(topology)), latency_(latency), loopback_(loopback) {
+  FRIEDA_CHECK(latency_ >= 0.0, "latency must be >= 0");
+  FRIEDA_CHECK(loopback_ > 0.0, "loopback bandwidth must be > 0");
+}
+
+sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
+                                            unsigned streams) {
+  FRIEDA_CHECK(src < topology_.node_count() && dst < topology_.node_count(),
+               "transfer endpoints out of range");
+  FRIEDA_CHECK(streams >= 1, "transfer needs at least one stream");
+  ++transfers_started_;
+  TransferResult result;
+  result.requested = bytes;
+  result.started = sim_.now();
+
+  if (node_failed(src) || node_failed(dst)) {
+    result.status = TransferStatus::kFailed;
+    result.finished = sim_.now();
+    co_return result;
+  }
+  // Each stream pays connection setup; streams are established sequentially
+  // (control traffic), then run in parallel.
+  if (latency_ > 0.0) co_await sim_.delay(latency_ * streams);
+  if (node_failed(src) || node_failed(dst)) {  // failed during setup
+    result.status = TransferStatus::kFailed;
+    result.finished = sim_.now();
+    co_return result;
+  }
+  if (bytes == 0) {
+    result.finished = sim_.now();
+    traffic_[src].bytes_sent += 0;
+    if (observer_) observer_(src, dst, result);
+    co_return result;
+  }
+
+  streams = static_cast<unsigned>(
+      std::min<Bytes>(streams, std::max<Bytes>(bytes, 1)));  // no empty streams
+  std::vector<FlowPtr> stream_flows;
+  stream_flows.reserve(streams);
+  advance_flows();
+  for (unsigned s = 0; s < streams; ++s) {
+    const Bytes share = bytes / streams + (s < bytes % streams ? 1 : 0);
+    auto flow = std::make_shared<Flow>();
+    flow->src = src;
+    flow->dst = dst;
+    flow->requested = share;
+    flow->remaining = static_cast<double>(share);
+    flow->started = sim_.now();
+    flow->signal = std::make_unique<sim::Signal>(sim_);
+    flows_.push_back(flow);
+    stream_flows.push_back(std::move(flow));
+  }
+  recompute_rates();
+
+  for (const auto& flow : stream_flows) co_await flow->signal->wait();
+
+  result.status = TransferStatus::kCompleted;
+  result.transferred = 0;
+  for (const auto& flow : stream_flows) {
+    if (flow->status == TransferStatus::kFailed) result.status = TransferStatus::kFailed;
+    const double moved =
+        static_cast<double>(flow->requested) - std::max(flow->remaining, 0.0);
+    result.transferred += flow->status == TransferStatus::kCompleted
+                              ? flow->requested
+                              : static_cast<Bytes>(moved + 0.5);
+  }
+  result.finished = sim_.now();
+
+  traffic_[src].bytes_sent += result.transferred;
+  traffic_[dst].bytes_received += result.transferred;
+  total_bytes_moved_ += result.transferred;
+  if (observer_) observer_(src, dst, result);
+  co_return result;
+}
+
+void Network::advance_flows() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_advance_;
+  if (dt > 0.0) {
+    for (auto& flow : flows_) flow->remaining -= flow->rate * dt;
+  }
+  last_advance_ = now;
+}
+
+void Network::recompute_rates() {
+  // Drop finished flows from the active set first.
+  std::vector<FlowPtr> live;
+  live.reserve(flows_.size());
+  for (auto& flow : flows_) {
+    if (flow->done) continue;
+    if (flow->remaining <= kEpsilonBytes ||
+        (flow->rate > 0.0 && flow->remaining <= flow->rate * kMinTimeStep)) {
+      complete_flow(flow, TransferStatus::kCompleted);
+      continue;
+    }
+    live.push_back(flow);
+  }
+  flows_ = std::move(live);
+
+  if (completion_event_.pending()) sim_.cancel(completion_event_);
+  if (flows_.empty()) return;
+
+  // Build the resource table: egress per distinct src, ingress per distinct
+  // dst, provisioned pair limits, optional backbone, and a loopback class.
+  std::vector<Bandwidth> capacities;
+  std::unordered_map<std::uint64_t, std::size_t> resource_index;
+  const auto resource = [&](std::uint64_t key, Bandwidth cap) {
+    auto [it, inserted] = resource_index.emplace(key, capacities.size());
+    if (inserted) capacities.push_back(cap);
+    return it->second;
+  };
+  // Key space: kind in the top bits, node/pair id below.
+  const auto egress_key = [](NodeId n) { return 0x1000000000ull + n; };
+  const auto ingress_key = [](NodeId n) { return 0x2000000000ull + n; };
+  const auto pair_key = [](NodeId s, NodeId d) {
+    return 0x3000000000ull + (static_cast<std::uint64_t>(s) << 20) + d;
+  };
+  constexpr std::uint64_t kBackboneKey = 0x4000000000ull;
+  const auto site_key = [](SiteId a, SiteId b) {
+    if (a > b) std::swap(a, b);
+    return 0x6000000000ull + (static_cast<std::uint64_t>(a) << 16) + b;
+  };
+
+  std::vector<FlowConstraints> constraints(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const auto& flow = flows_[i];
+    auto& c = constraints[i];
+    if (flow->src == flow->dst) {
+      // Loopback copies share the node's loopback device, not the NIC.
+      c.resources.push_back(resource(0x5000000000ull + flow->src, loopback_));
+      continue;
+    }
+    c.resources.push_back(resource(egress_key(flow->src), topology_.egress(flow->src)));
+    c.resources.push_back(resource(ingress_key(flow->dst), topology_.ingress(flow->dst)));
+    const Bandwidth pair_cap = topology_.pair_limit(flow->src, flow->dst);
+    if (pair_cap != std::numeric_limits<Bandwidth>::infinity()) {
+      c.resources.push_back(resource(pair_key(flow->src, flow->dst), pair_cap));
+    }
+    if (topology_.has_backbone_cap()) {
+      c.resources.push_back(resource(kBackboneKey, topology_.backbone_capacity()));
+    }
+    if (topology_.has_intersite_caps()) {
+      const SiteId sa = topology_.site(flow->src);
+      const SiteId sb = topology_.site(flow->dst);
+      const Bandwidth wan = topology_.intersite_capacity(sa, sb);
+      if (wan != std::numeric_limits<Bandwidth>::infinity()) {
+        c.resources.push_back(resource(site_key(sa, sb), wan));
+      }
+    }
+  }
+
+  const auto rates = max_min_fair_rates(capacities, constraints);
+
+  SimTime next_completion = std::numeric_limits<SimTime>::infinity();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    flows_[i]->rate = rates[i];
+    if (rates[i] > 0.0) {
+      next_completion = std::min(next_completion, flows_[i]->remaining / rates[i]);
+    }
+  }
+  FRIEDA_CHECK(next_completion != std::numeric_limits<SimTime>::infinity(),
+               "active flows exist but none can make progress");
+
+  completion_event_ = sim_.schedule_in(std::max(next_completion, kMinTimeStep), [this] {
+    advance_flows();
+    recompute_rates();
+  });
+}
+
+void Network::complete_flow(const FlowPtr& flow, TransferStatus status) {
+  flow->done = true;
+  flow->status = status;
+  if (status == TransferStatus::kCompleted) flow->remaining = 0.0;
+  flow->signal->trigger();
+}
+
+void Network::fail_node(NodeId node) {
+  if (!failed_nodes_.insert(node).second) return;
+  FLOG(kDebug, "net", "node " << node << " failed; aborting its flows");
+  advance_flows();
+  for (auto& flow : flows_) {
+    if (flow->done) continue;
+    if (flow->src == node || flow->dst == node) {
+      complete_flow(flow, TransferStatus::kFailed);
+    }
+  }
+  recompute_rates();
+}
+
+void Network::restore_node(NodeId node) { failed_nodes_.erase(node); }
+
+NodeTraffic Network::traffic(NodeId node) const {
+  const auto it = traffic_.find(node);
+  return it == traffic_.end() ? NodeTraffic{} : it->second;
+}
+
+}  // namespace frieda::net

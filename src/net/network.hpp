@@ -1,0 +1,145 @@
+// Flow-level network simulation with max-min fair bandwidth sharing.
+//
+// A transfer is a fluid flow from a source node to a destination node.  At
+// every flow arrival/departure the rates of all active flows are recomputed
+// with the max-min fair solver and the single next-completion event is
+// rescheduled.  This models TCP-like sharing of the paper's 100 Mbps
+// provisioned links without per-packet simulation, which is exactly the
+// granularity the evaluation observes (whole-file scp durations).
+//
+// Node failure support: fail_node() aborts every flow touching the node;
+// the awaiting process resumes with TransferStatus::kFailed, mirroring a
+// dropped scp connection when a VM disappears.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/topology.hpp"
+#include "sim/channel.hpp"
+#include "sim/simulation.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace frieda::net {
+
+/// Terminal status of a transfer.
+enum class TransferStatus {
+  kCompleted,  ///< all bytes delivered
+  kFailed,     ///< a participating node failed mid-flight
+};
+
+/// Result handed back to the process that awaited the transfer.
+struct TransferResult {
+  TransferStatus status = TransferStatus::kCompleted;
+  Bytes requested = 0;     ///< bytes asked for
+  Bytes transferred = 0;   ///< bytes actually moved before completion/failure
+  SimTime started = 0.0;   ///< when the flow entered the network
+  SimTime finished = 0.0;  ///< when it completed or was aborted
+
+  /// Wall-clock duration of the flow.
+  SimTime duration() const { return finished - started; }
+
+  /// Convenience: completed successfully?
+  bool ok() const { return status == TransferStatus::kCompleted; }
+};
+
+/// Aggregate per-node traffic accounting.
+struct NodeTraffic {
+  Bytes bytes_sent = 0;
+  Bytes bytes_received = 0;
+};
+
+/// The network service.  One instance per simulation.
+class Network {
+ public:
+  /// Construct over a topology.  `latency` is the per-transfer setup cost
+  /// (connection establishment; the paper uses scp per file).  `loopback`
+  /// is the rate for src==dst copies, which bypass the NIC.
+  Network(sim::Simulation& sim, Topology topology, SimTime latency = 1e-3,
+          Bandwidth loopback = gbps(10));
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// The topology (mutable: elasticity adds nodes at runtime).
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Move `bytes` from `src` to `dst`; resumes when done or failed.
+  ///
+  /// `streams` > 1 splits the payload into that many parallel flows (the
+  /// GridFTP-style striped transfer the paper lists as future work,
+  /// Section II.C): each stream competes for fair share independently, so a
+  /// striped transfer wins a larger fraction of a contended link.  Each
+  /// stream pays the per-connection setup latency.
+  sim::Task<TransferResult> transfer(NodeId src, NodeId dst, Bytes bytes,
+                                     unsigned streams = 1);
+
+  /// Abort all flows touching `node`; subsequent transfers to/from it fail
+  /// immediately.  Mirrors a VM crash.
+  void fail_node(NodeId node);
+
+  /// Restore a previously failed node (re-provisioned replacement VM slot).
+  void restore_node(NodeId node);
+
+  /// True when the node has been failed.
+  bool node_failed(NodeId node) const { return failed_nodes_.count(node) > 0; }
+
+  /// Number of flows currently in the fluid model.
+  std::size_t active_flows() const { return flows_.size(); }
+
+  /// Per-node accounting of completed traffic.
+  NodeTraffic traffic(NodeId node) const;
+
+  /// Total bytes moved by completed transfers.
+  Bytes total_bytes_moved() const { return total_bytes_moved_; }
+
+  /// Total number of transfers started.
+  std::uint64_t transfers_started() const { return transfers_started_; }
+
+  /// Time integral bookkeeping hook: called with every finished transfer.
+  void set_observer(std::function<void(NodeId src, NodeId dst, const TransferResult&)> obs) {
+    observer_ = std::move(obs);
+  }
+
+ private:
+  struct Flow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    Bytes requested = 0;
+    double remaining = 0.0;  // fractional bytes in the fluid model
+    Bandwidth rate = 0.0;
+    SimTime started = 0.0;
+    TransferStatus status = TransferStatus::kCompleted;
+    bool done = false;
+    std::unique_ptr<sim::Signal> signal;
+  };
+  using FlowPtr = std::shared_ptr<Flow>;
+
+  void advance_flows();    // progress remaining bytes to sim.now()
+  void recompute_rates();  // solve max-min and reschedule completion event
+  void complete_flow(const FlowPtr& flow, TransferStatus status);
+
+  sim::Simulation& sim_;
+  Topology topology_;
+  SimTime latency_;
+  Bandwidth loopback_;
+
+  std::vector<FlowPtr> flows_;
+  SimTime last_advance_ = 0.0;
+  sim::EventQueue::Handle completion_event_;
+  std::unordered_set<NodeId> failed_nodes_;
+
+  std::unordered_map<NodeId, NodeTraffic> traffic_;
+  Bytes total_bytes_moved_ = 0;
+  std::uint64_t transfers_started_ = 0;
+  std::function<void(NodeId, NodeId, const TransferResult&)> observer_;
+};
+
+}  // namespace frieda::net

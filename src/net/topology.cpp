@@ -1,0 +1,77 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace frieda::net {
+
+NodeId Topology::add_node(std::string name, Bandwidth egress, Bandwidth ingress) {
+  FRIEDA_CHECK(egress > 0 && ingress > 0, "NIC capacities must be positive");
+  nodes_.push_back(Node{std::move(name), egress, ingress});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Topology::check(NodeId id) const {
+  FRIEDA_CHECK(id < nodes_.size(), "node id " << id << " out of range");
+}
+
+const std::string& Topology::name(NodeId id) const {
+  check(id);
+  return nodes_[id].name;
+}
+
+Bandwidth Topology::egress(NodeId id) const {
+  check(id);
+  return nodes_[id].egress;
+}
+
+Bandwidth Topology::ingress(NodeId id) const {
+  check(id);
+  return nodes_[id].ingress;
+}
+
+void Topology::set_nic(NodeId id, Bandwidth egress, Bandwidth ingress) {
+  check(id);
+  FRIEDA_CHECK(egress > 0 && ingress > 0, "NIC capacities must be positive");
+  nodes_[id].egress = egress;
+  nodes_[id].ingress = ingress;
+}
+
+void Topology::set_pair_limit(NodeId src, NodeId dst, Bandwidth cap) {
+  check(src);
+  check(dst);
+  FRIEDA_CHECK(cap > 0, "pair limit must be positive");
+  pair_limits_[{src, dst}] = cap;
+}
+
+Bandwidth Topology::pair_limit(NodeId src, NodeId dst) const {
+  const auto it = pair_limits_.find({src, dst});
+  if (it == pair_limits_.end()) return std::numeric_limits<Bandwidth>::infinity();
+  return it->second;
+}
+
+void Topology::set_site(NodeId id, SiteId site) {
+  check(id);
+  nodes_[id].site = site;
+}
+
+SiteId Topology::site(NodeId id) const {
+  check(id);
+  return nodes_[id].site;
+}
+
+void Topology::set_intersite_capacity(SiteId a, SiteId b, Bandwidth cap) {
+  FRIEDA_CHECK(a != b, "inter-site capacity needs two distinct sites");
+  FRIEDA_CHECK(cap > 0, "inter-site capacity must be positive");
+  intersite_[{std::min(a, b), std::max(a, b)}] = cap;
+}
+
+Bandwidth Topology::intersite_capacity(SiteId a, SiteId b) const {
+  if (a == b) return std::numeric_limits<Bandwidth>::infinity();
+  const auto it = intersite_.find({std::min(a, b), std::max(a, b)});
+  if (it == intersite_.end()) return std::numeric_limits<Bandwidth>::infinity();
+  return it->second;
+}
+
+}  // namespace frieda::net

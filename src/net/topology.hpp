@@ -1,0 +1,95 @@
+// Network topology: nodes with NIC capacities, optional provisioned
+// pair limits and a backbone capacity.
+//
+// The evaluation topology (paper Section IV.A) is a star: every VM hangs off
+// a non-blocking switch through a 100 Mbps provisioned NIC.  A flow src→dst
+// therefore traverses src's egress, dst's ingress, optionally a provisioned
+// per-pair limit, and optionally the shared backbone.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace frieda::net {
+
+/// Identifier of a topology node (VM, data source, storage server).
+using NodeId = std::uint32_t;
+
+/// Identifier of a site in a federated deployment (paper Sections I, V.C:
+/// "federated cloud sites").  Site 0 is the default/home site.
+using SiteId = std::uint16_t;
+
+/// Star topology with per-node NIC capacities and optional overrides.
+class Topology {
+ public:
+  /// Add a node; returns its id.  `egress`/`ingress` are NIC capacities in
+  /// bytes/second.
+  NodeId add_node(std::string name, Bandwidth egress, Bandwidth ingress);
+
+  /// Number of nodes.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Node's display name.
+  const std::string& name(NodeId id) const;
+
+  /// NIC capacities.
+  Bandwidth egress(NodeId id) const;
+  Bandwidth ingress(NodeId id) const;
+
+  /// Replace a node's NIC capacities (elastic re-provisioning).
+  void set_nic(NodeId id, Bandwidth egress, Bandwidth ingress);
+
+  /// Provision a directional per-pair bandwidth cap (src -> dst).
+  void set_pair_limit(NodeId src, NodeId dst, Bandwidth cap);
+
+  /// Pair cap if provisioned, else +infinity.
+  Bandwidth pair_limit(NodeId src, NodeId dst) const;
+
+  /// Cap the aggregate backbone (default: unconstrained switch).
+  void set_backbone_capacity(Bandwidth cap) { backbone_ = cap; }
+
+  /// Backbone capacity (+infinity when unconstrained).
+  Bandwidth backbone_capacity() const { return backbone_; }
+
+  /// True when a backbone cap was configured.
+  bool has_backbone_cap() const {
+    return backbone_ != std::numeric_limits<Bandwidth>::infinity();
+  }
+
+  /// Assign a node to a federated site (default: site 0).
+  void set_site(NodeId id, SiteId site);
+
+  /// The node's site.
+  SiteId site(NodeId id) const;
+
+  /// Cap the WAN between two sites (order-insensitive); inter-site flows in
+  /// both directions share this capacity, like a provisioned circuit.
+  void set_intersite_capacity(SiteId a, SiteId b, Bandwidth cap);
+
+  /// Inter-site capacity (+infinity when not configured).
+  Bandwidth intersite_capacity(SiteId a, SiteId b) const;
+
+  /// True when any inter-site cap was configured.
+  bool has_intersite_caps() const { return !intersite_.empty(); }
+
+ private:
+  struct Node {
+    std::string name;
+    Bandwidth egress;
+    Bandwidth ingress;
+    SiteId site = 0;
+  };
+  void check(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Bandwidth> pair_limits_;
+  std::map<std::pair<SiteId, SiteId>, Bandwidth> intersite_;
+  Bandwidth backbone_ = std::numeric_limits<Bandwidth>::infinity();
+};
+
+}  // namespace frieda::net

@@ -1,0 +1,48 @@
+#include "runtime/token_bucket.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace frieda::rt {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate),
+      burst_(burst > 0.0 ? burst : rate),
+      tokens_(burst_),
+      last_refill_(std::chrono::steady_clock::now()) {
+  FRIEDA_CHECK(rate >= 0.0, "token bucket rate must be >= 0");
+}
+
+void TokenBucket::refill_locked() {
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed = std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+}
+
+void TokenBucket::acquire(std::uint64_t bytes) {
+  if (rate_ <= 0.0) return;  // unlimited
+  double need = static_cast<double>(bytes);
+  while (need > 0.0) {
+    double wait_seconds = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      refill_locked();
+      const double take = std::min(need, std::max(tokens_, 0.0));
+      tokens_ -= take;
+      need -= take;
+      if (need > 0.0) {
+        // Time until the bucket holds min(need, burst) more tokens.
+        wait_seconds = std::min(need, burst_) / rate_;
+      }
+    }
+    if (wait_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(wait_seconds, 0.05)));  // re-check periodically
+    }
+  }
+}
+
+}  // namespace frieda::rt

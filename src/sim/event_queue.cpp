@@ -1,0 +1,49 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace frieda::sim {
+
+EventQueue::Handle EventQueue::push(SimTime t, Callback fn) {
+  auto node = std::make_shared<Handle::Node>();
+  node->time = t;
+  node->seq = next_seq_++;
+  node->fn = std::move(fn);
+  heap_.push(node);
+  ++live_;
+  return Handle(node);
+}
+
+void EventQueue::cancel(Handle& h) {
+  if (h.node_ && !h.node_->cancelled && !h.node_->fired) {
+    h.node_->cancelled = true;
+    h.node_->fn = nullptr;  // release captured state eagerly
+    --live_;
+  }
+  h.node_.reset();
+}
+
+void EventQueue::purge_cancelled_top() {
+  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  purge_cancelled_top();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  FRIEDA_CHECK(!empty(), "next_time() on empty event queue");
+  return heap_.top()->time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  FRIEDA_CHECK(!empty(), "pop() on empty event queue");
+  NodePtr node = heap_.top();
+  heap_.pop();
+  node->fired = true;
+  --live_;
+  return {node->time, std::move(node->fn)};
+}
+
+}  // namespace frieda::sim

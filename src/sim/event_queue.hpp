@@ -1,0 +1,85 @@
+// Time-ordered event queue for the discrete-event simulator.
+//
+// Events are ordered by (timestamp, insertion sequence), which makes
+// same-time events FIFO and the whole simulation deterministic.  Cancellation
+// is lazy: a cancelled event stays in the heap as a tombstone and is skipped
+// on pop, which keeps cancel() O(1) — important because the flow-level
+// network model cancels and reschedules completion events on every flow
+// arrival/departure.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace frieda::sim {
+
+/// Min-heap of timestamped callbacks with stable FIFO ordering at equal times.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Cancellation handle for a scheduled event.  Default-constructed handles
+  /// are inert; handles may outlive the queue.
+  class Handle {
+   public:
+    Handle() = default;
+
+    /// True when this handle refers to an event that has neither fired nor
+    /// been cancelled.
+    bool pending() const { return node_ && !node_->cancelled && !node_->fired; }
+
+   private:
+    friend class EventQueue;
+    struct Node {
+      SimTime time = 0.0;
+      std::uint64_t seq = 0;
+      Callback fn;
+      bool cancelled = false;
+      bool fired = false;
+    };
+    explicit Handle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+    std::shared_ptr<Node> node_;
+  };
+
+  /// Schedule `fn` at absolute time `t` (must be >= the last popped time;
+  /// enforced by the Simulation wrapper, not here).
+  Handle push(SimTime t, Callback fn);
+
+  /// Cancel a scheduled event; no-op if it already fired or was cancelled.
+  void cancel(Handle& h);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty();
+
+  /// Timestamp of the next live event.  Requires !empty().
+  SimTime next_time();
+
+  /// Pop and return the next live event's (time, callback).
+  /// Requires !empty().
+  std::pair<SimTime, Callback> pop();
+
+  /// Number of live events (linear scan-free approximation is impossible with
+  /// tombstones, so this counts pushes minus fires minus cancels).
+  std::size_t size() const { return live_; }
+
+ private:
+  using NodePtr = std::shared_ptr<Handle::Node>;
+  struct Later {
+    bool operator()(const NodePtr& a, const NodePtr& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+  void purge_cancelled_top();
+
+  std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace frieda::sim

@@ -1,0 +1,48 @@
+#include "sim/sync.hpp"
+
+#include "common/error.hpp"
+
+namespace frieda::sim {
+
+void Signal::trigger() {
+  if (triggered_) return;
+  triggered_ = true;
+  std::deque<std::coroutine_handle<>> waiters;
+  waiters.swap(waiters_);
+  for (auto h : waiters) {
+    sim_.schedule_in(0.0, [h] { h.resume(); });
+  }
+}
+
+Semaphore::Semaphore(Simulation& sim, std::int64_t permits) : sim_(sim), permits_(permits) {
+  FRIEDA_CHECK(permits >= 0, "semaphore permits must be >= 0");
+}
+
+void Semaphore::release() {
+  if (!waiters_.empty()) {
+    auto h = waiters_.front();
+    waiters_.pop_front();
+    sim_.schedule_in(0.0, [h] { h.resume(); });
+  } else {
+    ++permits_;
+  }
+}
+
+void WaitGroup::add(std::int64_t n) {
+  FRIEDA_CHECK(n >= 0, "WaitGroup::add of negative count");
+  count_ += n;
+}
+
+void WaitGroup::done() {
+  FRIEDA_CHECK(count_ > 0, "WaitGroup::done below zero");
+  --count_;
+  if (count_ == 0) {
+    std::deque<std::coroutine_handle<>> waiters;
+    waiters.swap(waiters_);
+    for (auto h : waiters) {
+      sim_.schedule_in(0.0, [h] { h.resume(); });
+    }
+  }
+}
+
+}  // namespace frieda::sim

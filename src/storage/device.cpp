@@ -1,0 +1,163 @@
+#include "storage/device.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace frieda::storage {
+
+namespace {
+constexpr double kEpsilonBytes = 1e-6;
+// Minimum scheduling step; see net/network.cpp for the rationale.
+constexpr double kMinTimeStep = 1e-9;
+}  // namespace
+
+bool StorageDevice::allocate(Bytes bytes) {
+  if (bytes > available()) return false;
+  used_ += bytes;
+  return true;
+}
+
+void StorageDevice::release(Bytes bytes) {
+  FRIEDA_CHECK(bytes <= used_, "releasing more than reserved");
+  used_ -= bytes;
+}
+
+SharedService::SharedService(sim::Simulation& sim, Bandwidth rate) : sim_(sim), rate_(rate) {
+  FRIEDA_CHECK(rate_ > 0.0, "service rate must be > 0");
+}
+
+sim::Task<IoResult> SharedService::submit(Bytes bytes) {
+  IoResult result;
+  const SimTime start = sim_.now();
+  if (failed_) {
+    result.ok = false;
+    co_return result;
+  }
+  if (bytes == 0) co_return result;
+
+  auto op = std::make_shared<Op>();
+  op->remaining = static_cast<double>(bytes);
+  op->signal = std::make_unique<sim::Signal>(sim_);
+
+  advance();
+  ops_.push_back(op);
+  reschedule();
+
+  co_await op->signal->wait();
+  result.ok = op->ok;
+  result.duration = sim_.now() - start;
+  co_return result;
+}
+
+void SharedService::advance() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_advance_;
+  if (dt > 0.0 && !ops_.empty()) {
+    const double share = rate_ / static_cast<double>(ops_.size());
+    for (auto& op : ops_) op->remaining -= share * dt;
+  }
+  last_advance_ = now;
+}
+
+void SharedService::reschedule() {
+  std::vector<OpPtr> live;
+  live.reserve(ops_.size());
+  const double prev_share =
+      ops_.empty() ? rate_ : rate_ / static_cast<double>(ops_.size());
+  for (auto& op : ops_) {
+    if (op->done) continue;
+    if (op->remaining <= kEpsilonBytes || op->remaining <= prev_share * kMinTimeStep) {
+      op->done = true;
+      op->signal->trigger();
+      continue;
+    }
+    live.push_back(op);
+  }
+  ops_ = std::move(live);
+
+  if (completion_event_.pending()) sim_.cancel(completion_event_);
+  if (ops_.empty()) return;
+
+  const double share = rate_ / static_cast<double>(ops_.size());
+  double soonest = std::numeric_limits<double>::infinity();
+  for (auto& op : ops_) soonest = std::min(soonest, op->remaining / share);
+  completion_event_ = sim_.schedule_in(std::max(soonest, kMinTimeStep), [this] {
+    advance();
+    reschedule();
+  });
+}
+
+void SharedService::fail() {
+  if (failed_) return;
+  failed_ = true;
+  advance();
+  for (auto& op : ops_) {
+    if (op->done) continue;
+    op->done = true;
+    op->ok = false;
+    op->signal->trigger();
+  }
+  ops_.clear();
+  if (completion_event_.pending()) sim_.cancel(completion_event_);
+}
+
+void SharedService::restore() { failed_ = false; }
+
+LocalDisk::LocalDisk(sim::Simulation& sim, Bandwidth read_bw, Bandwidth write_bw, Bytes capacity)
+    : StorageDevice(capacity), read_path_(sim, read_bw), write_path_(sim, write_bw) {}
+
+sim::Task<IoResult> LocalDisk::read(Bytes bytes) { return read_path_.submit(bytes); }
+
+sim::Task<IoResult> LocalDisk::write(Bytes bytes) { return write_path_.submit(bytes); }
+
+void LocalDisk::fail() {
+  read_path_.fail();
+  write_path_.fail();
+}
+
+void LocalDisk::restore() {
+  read_path_.restore();
+  write_path_.restore();
+}
+
+NetworkVolume::NetworkVolume(net::Network& network, net::NodeId server_node,
+                             net::NodeId host_node, Bytes capacity)
+    : StorageDevice(capacity), network_(network), server_(server_node), host_(host_node) {}
+
+sim::Task<IoResult> NetworkVolume::read(Bytes bytes) {
+  const auto xfer = co_await network_.transfer(server_, host_, bytes);
+  co_return IoResult{xfer.ok(), xfer.duration()};
+}
+
+sim::Task<IoResult> NetworkVolume::write(Bytes bytes) {
+  const auto xfer = co_await network_.transfer(host_, server_, bytes);
+  co_return IoResult{xfer.ok(), xfer.duration()};
+}
+
+ObjectStore::ObjectStore(sim::Simulation& sim, net::Network& network, net::NodeId server_node,
+                         net::NodeId host_node, SimTime request_latency, Bytes capacity)
+    : StorageDevice(capacity),
+      sim_(sim),
+      network_(network),
+      server_(server_node),
+      host_(host_node),
+      request_latency_(request_latency) {
+  FRIEDA_CHECK(request_latency_ >= 0.0, "request latency must be >= 0");
+}
+
+sim::Task<IoResult> ObjectStore::read(Bytes bytes) {
+  const SimTime start = sim_.now();
+  co_await sim_.delay(request_latency_);
+  const auto xfer = co_await network_.transfer(server_, host_, bytes);
+  co_return IoResult{xfer.ok(), sim_.now() - start};
+}
+
+sim::Task<IoResult> ObjectStore::write(Bytes bytes) {
+  const SimTime start = sim_.now();
+  co_await sim_.delay(request_latency_);
+  const auto xfer = co_await network_.transfer(host_, server_, bytes);
+  co_return IoResult{xfer.ok(), sim_.now() - start};
+}
+
+}  // namespace frieda::storage

@@ -1,0 +1,49 @@
+#include "workload/blast.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "workload/calibration.hpp"
+
+namespace frieda::workload {
+
+BlastParams BlastParams::paper() {
+  BlastParams p;
+  p.sequence_count = calib::kBlastSequenceCount;
+  p.sequence_bytes = calib::kBlastSequenceBytes;
+  p.database_bytes = calib::kBlastDatabaseBytes;
+  p.mean_task_seconds = calib::kBlastMeanTaskSeconds;
+  p.task_cv = calib::kBlastTaskCv;
+  p.output_bytes = calib::kBlastOutputBytes;
+  return p;
+}
+
+BlastModel::BlastModel(BlastParams params) : params_(params) {
+  FRIEDA_CHECK(params_.sequence_count > 0, "sequence count must be > 0");
+  FRIEDA_CHECK(params_.mean_task_seconds > 0.0, "mean task seconds must be > 0");
+  Rng rng(params_.seed);
+  costs_.reserve(params_.sequence_count);
+  for (std::size_t i = 0; i < params_.sequence_count; ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "query_%06zu.fasta", i);
+    catalog_.add_file(name, params_.sequence_bytes);
+    costs_.push_back(params_.task_cv > 0.0
+                         ? rng.lognormal_mean_cv(params_.mean_task_seconds, params_.task_cv)
+                         : params_.mean_task_seconds);
+  }
+}
+
+SimTime BlastModel::file_cost(storage::FileId f) const {
+  FRIEDA_CHECK(f < costs_.size(), "file id out of range");
+  return costs_[f];
+}
+
+SimTime BlastModel::task_seconds(const core::WorkUnit& unit) const {
+  SimTime total = 0.0;
+  for (const auto f : unit.inputs) total += file_cost(f);
+  return total;
+}
+
+Bytes BlastModel::output_bytes(const core::WorkUnit&) const { return params_.output_bytes; }
+
+}  // namespace frieda::workload

@@ -1,0 +1,62 @@
+// BLAST workload model (paper Section IV.A).
+//
+// "BLAST is used to compare primary biological sequences of different
+//  proteins against a sequence database. ... BLAST compares small protein
+//  sequences against a large database."
+//
+// Tiny per-task inputs, a large common database that must be resident on
+// every node, and long, match-dependent (skewed) compute — the compute-bound
+// end of the paper's spectrum, where real-time partitioning wins through
+// load balancing rather than transfer overlap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frieda/app_model.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::workload {
+
+/// Tunable parameters of the BLAST model.
+struct BlastParams {
+  std::size_t sequence_count;  ///< number of query sequence files
+  Bytes sequence_bytes;        ///< size of each query file
+  Bytes database_bytes;        ///< shared database size (common data)
+  double mean_task_seconds;    ///< mean per-sequence search cost
+  double task_cv;              ///< skew of the cost distribution (lognormal)
+  Bytes output_bytes;          ///< alignment report size
+  std::uint64_t seed = 2;      ///< dataset + cost generation seed
+
+  /// Defaults calibrated to the paper's BLAST run (calibration.hpp).
+  static BlastParams paper();
+};
+
+/// The BLAST application model; builds its own query-file catalog and draws
+/// each sequence's search cost once (deterministic per unit).
+class BlastModel final : public core::AppModel {
+ public:
+  /// Build the query catalog and per-file costs deterministically.
+  explicit BlastModel(BlastParams params);
+
+  /// The generated query-file directory.
+  const storage::FileCatalog& catalog() const { return catalog_; }
+
+  /// The pre-drawn cost of query file `f` (exposed for tests).
+  SimTime file_cost(storage::FileId f) const;
+
+  // AppModel interface -------------------------------------------------
+  const std::string& name() const override { return name_; }
+  SimTime task_seconds(const core::WorkUnit& unit) const override;
+  Bytes common_data_bytes() const override { return params_.database_bytes; }
+  Bytes output_bytes(const core::WorkUnit& unit) const override;
+
+ private:
+  std::string name_ = "blast";
+  BlastParams params_;
+  storage::FileCatalog catalog_;
+  std::vector<SimTime> costs_;  // indexed by file id
+};
+
+}  // namespace frieda::workload

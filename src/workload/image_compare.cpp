@@ -1,0 +1,45 @@
+#include "workload/image_compare.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "workload/calibration.hpp"
+
+namespace frieda::workload {
+
+ImageCompareParams ImageCompareParams::paper() {
+  ImageCompareParams p;
+  p.image_count = calib::kAlsImageCount;
+  p.mean_image_bytes = calib::kAlsMeanImageBytes;
+  p.size_cv = calib::kAlsImageSizeCv;
+  p.seconds_per_mb = calib::kAlsSecondsPerMB;
+  p.output_bytes = calib::kAlsOutputBytes;
+  return p;
+}
+
+ImageCompareModel::ImageCompareModel(ImageCompareParams params) : params_(params) {
+  FRIEDA_CHECK(params_.image_count > 0, "image count must be > 0");
+  FRIEDA_CHECK(params_.mean_image_bytes > 0, "image size must be > 0");
+  Rng rng(params_.seed);
+  for (std::size_t i = 0; i < params_.image_count; ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "beamline_%05zu.tif", i);
+    const double size = params_.size_cv > 0.0
+                            ? rng.lognormal_mean_cv(
+                                  static_cast<double>(params_.mean_image_bytes), params_.size_cv)
+                            : static_cast<double>(params_.mean_image_bytes);
+    catalog_.add_file(name, static_cast<Bytes>(std::max(size, 1.0)));
+  }
+}
+
+SimTime ImageCompareModel::task_seconds(const core::WorkUnit& unit) const {
+  const double mb = static_cast<double>(unit.input_bytes(catalog_)) / 1e6;
+  return params_.seconds_per_mb * mb;
+}
+
+Bytes ImageCompareModel::output_bytes(const core::WorkUnit&) const {
+  return params_.output_bytes;
+}
+
+}  // namespace frieda::workload

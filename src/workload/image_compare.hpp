@@ -1,0 +1,54 @@
+// ALS light-source image-comparison workload (paper Section IV.A).
+//
+// "The data consists of a set of images.  The simple program we use here
+//  basically compares images to see similarity between the images.  The
+//  image analysis requires two files for every execution."
+//
+// Large per-task inputs, short compute: the transfer-bound end of the
+// paper's spectrum.  Cost is proportional to the bytes of the image pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frieda/app_model.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::workload {
+
+/// Tunable parameters of the image-comparison model.
+struct ImageCompareParams {
+  std::size_t image_count;       ///< number of images in the input directory
+  Bytes mean_image_bytes;        ///< average image size
+  double size_cv;                ///< coefficient of variation of image sizes
+  double seconds_per_mb;         ///< compare cost per MB of input pair
+  Bytes output_bytes;            ///< similarity report size
+  std::uint64_t seed = 1;        ///< dataset generation seed
+
+  /// Defaults calibrated to the paper's ALS run (calibration.hpp).
+  static ImageCompareParams paper();
+};
+
+/// The ALS application model; also builds its own file catalog.
+class ImageCompareModel final : public core::AppModel {
+ public:
+  /// Build the image catalog deterministically from the parameters.
+  explicit ImageCompareModel(ImageCompareParams params);
+
+  /// The generated input directory.
+  const storage::FileCatalog& catalog() const { return catalog_; }
+
+  // AppModel interface -------------------------------------------------
+  const std::string& name() const override { return name_; }
+  SimTime task_seconds(const core::WorkUnit& unit) const override;
+  Bytes common_data_bytes() const override { return 0; }
+  Bytes output_bytes(const core::WorkUnit& unit) const override;
+
+ private:
+  std::string name_ = "als-image-compare";
+  ImageCompareParams params_;
+  storage::FileCatalog catalog_;
+};
+
+}  // namespace frieda::workload

@@ -1,0 +1,47 @@
+// Paper evaluation scenarios (Section IV.A), shared by tests and benches.
+//
+// Cluster: 4 x c1.xlarge worker VMs (4 virtual cores, 4 GB) plus the data
+// source node, with 100 Mbps provisioned NICs.  Workloads: the ALS image
+// comparison (1250 images, pairwise-adjacent) and BLAST (7500 sequences +
+// common database, single-file grouping).  `scale` shrinks the datasets
+// proportionally so unit tests run the same code paths quickly.
+#pragma once
+
+#include <functional>
+
+#include "cluster/cluster.hpp"
+#include "frieda/report.hpp"
+#include "frieda/run.hpp"
+#include "workload/blast.hpp"
+#include "workload/image_compare.hpp"
+
+namespace frieda::workload {
+
+/// Knobs shared by every paper scenario.
+struct PaperScenarioOptions {
+  std::size_t worker_vms = 4;      ///< paper: 4 instances
+  unsigned cores_per_vm = 4;       ///< paper: c1.xlarge, 4 virtual cores
+  Bandwidth nic = mbps(100);       ///< paper: provisioned 100 Mbps
+  bool multicore = true;           ///< one program instance per core
+  double scale = 1.0;              ///< dataset scale factor (1.0 = paper size)
+  std::uint64_t seed = 2012;       ///< simulation seed
+  int prefetch = 1;                ///< real-time pipelining depth
+  bool requeue_on_failure = false;
+
+  /// Hook called after the run is constructed and before it executes —
+  /// benches use it to schedule failures or elasticity.
+  std::function<void(sim::Simulation&, cluster::VirtualCluster&, core::FriedaRun&)> arrange;
+};
+
+/// Run the ALS image-comparison workload with the given strategy.
+core::RunReport run_als(core::PlacementStrategy strategy, const PaperScenarioOptions& opt = {});
+
+/// Run the BLAST workload with the given strategy.
+core::RunReport run_blast(core::PlacementStrategy strategy,
+                          const PaperScenarioOptions& opt = {});
+
+/// Sequential baselines of Table I: one VM, one program instance, local data.
+core::RunReport run_als_sequential(const PaperScenarioOptions& opt = {});
+core::RunReport run_blast_sequential(const PaperScenarioOptions& opt = {});
+
+}  // namespace frieda::workload

@@ -1,0 +1,41 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace frieda::workload {
+
+SyntheticModel::SyntheticModel(SyntheticParams params) : params_(params) {
+  FRIEDA_CHECK(params_.file_count > 0, "file count must be > 0");
+  FRIEDA_CHECK(params_.mean_task_seconds >= 0.0, "task seconds must be >= 0");
+  Rng rng(params_.seed);
+  costs_.reserve(params_.file_count);
+  for (std::size_t i = 0; i < params_.file_count; ++i) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "input_%06zu.dat", i);
+    const double size =
+        params_.file_size_cv > 0.0
+            ? rng.lognormal_mean_cv(static_cast<double>(params_.mean_file_bytes),
+                                    params_.file_size_cv)
+            : static_cast<double>(params_.mean_file_bytes);
+    catalog_.add_file(name, static_cast<Bytes>(std::max(size, 1.0)));
+    costs_.push_back(params_.task_cv > 0.0 && params_.mean_task_seconds > 0.0
+                         ? rng.lognormal_mean_cv(params_.mean_task_seconds, params_.task_cv)
+                         : params_.mean_task_seconds);
+  }
+}
+
+SimTime SyntheticModel::file_cost(storage::FileId f) const {
+  FRIEDA_CHECK(f < costs_.size(), "file id out of range");
+  return costs_[f];
+}
+
+SimTime SyntheticModel::task_seconds(const core::WorkUnit& unit) const {
+  SimTime total = 0.0;
+  for (const auto f : unit.inputs) total += file_cost(f);
+  return total;
+}
+
+}  // namespace frieda::workload

@@ -1,0 +1,56 @@
+// Synthetic data-parallel workload for ablation studies.
+//
+// Generates a catalog of files with configurable size distribution and a
+// per-unit cost distribution with configurable skew, letting the benches
+// sweep the two axes the paper identifies as decisive: data volume per task
+// (transfer-bound vs. compute-bound) and task-cost variance (where real-time
+// partitioning's inherent load balancing pays off).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frieda/app_model.hpp"
+#include "storage/file.hpp"
+
+namespace frieda::workload {
+
+/// Parameters of the synthetic workload.
+struct SyntheticParams {
+  std::size_t file_count = 200;
+  Bytes mean_file_bytes = 1 * MB;
+  double file_size_cv = 0.0;
+  double mean_task_seconds = 1.0;  ///< per single-file unit
+  double task_cv = 0.0;            ///< lognormal skew (0 = homogeneous)
+  Bytes common_data_bytes = 0;
+  Bytes output_bytes = 0;
+  std::uint64_t seed = 3;
+};
+
+/// Generic synthetic application over its generated catalog.
+class SyntheticModel final : public core::AppModel {
+ public:
+  /// Build catalog and per-file costs deterministically from the seed.
+  explicit SyntheticModel(SyntheticParams params);
+
+  /// The generated input directory.
+  const storage::FileCatalog& catalog() const { return catalog_; }
+
+  /// The pre-drawn cost of file `f`.
+  SimTime file_cost(storage::FileId f) const;
+
+  // AppModel interface -------------------------------------------------
+  const std::string& name() const override { return name_; }
+  SimTime task_seconds(const core::WorkUnit& unit) const override;
+  Bytes common_data_bytes() const override { return params_.common_data_bytes; }
+  Bytes output_bytes(const core::WorkUnit&) const override { return params_.output_bytes; }
+
+ private:
+  std::string name_ = "synthetic";
+  SyntheticParams params_;
+  storage::FileCatalog catalog_;
+  std::vector<SimTime> costs_;
+};
+
+}  // namespace frieda::workload

@@ -1,0 +1,255 @@
+// Tests of disk-capacity-aware staging (Section III.A: "local disk space is
+// very limited") and multi-stream (striped) transfers.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "net/network.hpp"
+#include "workload/synthetic.hpp"
+
+namespace frieda::core {
+namespace {
+
+using cluster::VirtualCluster;
+using workload::SyntheticModel;
+using workload::SyntheticParams;
+
+struct Scenario {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<VirtualCluster> cluster;
+  std::unique_ptr<SyntheticModel> app;
+  std::vector<WorkUnit> units;
+  std::vector<cluster::VmId> vms;
+};
+
+Scenario capacity_scenario(Bytes disk_capacity, SyntheticParams params,
+                           std::size_t vm_count = 2) {
+  Scenario s;
+  s.sim = std::make_unique<sim::Simulation>(21);
+  s.cluster = std::make_unique<VirtualCluster>(*s.sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 2;
+  type.disk_capacity = disk_capacity;
+  s.vms = s.cluster->provision(type, vm_count);
+  s.app = std::make_unique<SyntheticModel>(params);
+  s.units = PartitionGenerator::generate(PartitionScheme::kSingleFile, s.app->catalog());
+  return s;
+}
+
+SyntheticParams chunky_load() {
+  SyntheticParams params;
+  params.file_count = 40;
+  params.mean_file_bytes = 10 * MB;  // 400 MB dataset
+  params.mean_task_seconds = 1.0;
+  params.output_bytes = 0;
+  return params;
+}
+
+TEST(Capacity, RealTimeEvictsProcessedInputsAndCompletes) {
+  // Disk holds only ~4 inputs, dataset is 40: eviction must cycle the disk.
+  auto s = capacity_scenario(40 * MB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.evict_processed_inputs = true;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed()) << report.summary();
+  // The disk never exceeded its budget.
+  for (const auto vm : s.vms) {
+    EXPECT_LE(s.cluster->vm(vm).disk().used(), s.cluster->vm(vm).disk().capacity());
+  }
+}
+
+TEST(Capacity, RealTimeWithoutEvictionStallsOnSmallDisk) {
+  auto s = capacity_scenario(40 * MB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.evict_processed_inputs = false;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_FALSE(report.all_completed());
+  EXPECT_GT(report.units_failed, 0u);
+  EXPECT_EQ(report.units_completed + report.units_failed + report.units_unprocessed,
+            report.units_total);
+}
+
+TEST(Capacity, PrePartitionRemoteDropsUnstagedShare) {
+  // Each node's share is ~200 MB but the disk holds 100 MB: roughly half of
+  // each share cannot be staged and is reported unprocessed (paper base
+  // semantics — no requeue).
+  auto s = capacity_scenario(100 * MB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kPrePartitionRemote;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_GT(report.units_unprocessed, 0u);
+  EXPECT_GT(report.units_completed, 0u);
+  EXPECT_EQ(report.units_completed + report.units_failed + report.units_unprocessed,
+            report.units_total);
+}
+
+TEST(Capacity, NoPartitionCommonIsImpracticalOnSmallDisks) {
+  // The paper's point about replicating everything everywhere: it only
+  // works when every node can hold the full dataset.
+  auto s = capacity_scenario(100 * MB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kNoPartitionCommon;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_GT(report.units_unprocessed, report.units_total / 4);
+}
+
+TEST(Capacity, PrePlaceThrowsWhenDatasetDoesNotFit) {
+  auto s = capacity_scenario(100 * MB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kPrePartitionLocal;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  EXPECT_THROW(run.pre_place_all_inputs(s.vms), FriedaError);
+}
+
+TEST(Capacity, OutputsConsumeDiskAndCanFail) {
+  auto params = chunky_load();
+  params.file_count = 20;
+  params.mean_file_bytes = MB;
+  params.output_bytes = 12 * MB;  // outputs dominate: 240 MB total
+  auto s = capacity_scenario(70 * MB, params);
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  // Some units fail because their result no longer fits locally.
+  EXPECT_GT(report.units_failed, 0u);
+  EXPECT_GT(report.units_completed, 0u);
+}
+
+TEST(Capacity, TrackingCanBeDisabled) {
+  auto s = capacity_scenario(MB, chunky_load());  // absurdly small disk
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.track_disk_capacity = false;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+}
+
+// ---- striped transfers ----
+
+net::Topology star(std::size_t nodes, Bandwidth nic) {
+  net::Topology t;
+  for (std::size_t i = 0; i < nodes; ++i) t.add_node("n" + std::to_string(i), nic, nic);
+  return t;
+}
+
+TEST(Streams, UncontendedStripedTransferMatchesSingle) {
+  sim::Simulation sim;
+  net::Network netw(sim, star(2, mbps(100)), 0.0);
+  net::TransferResult single, striped;
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB, 1);
+  }(netw, single));
+  sim.run();
+  sim::Simulation sim2;
+  net::Network netw2(sim2, star(2, mbps(100)), 0.0);
+  sim2.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB, 4);
+  }(netw2, striped));
+  sim2.run();
+  // Alone on the link, striping cannot beat the NIC: same 10 s.
+  EXPECT_NEAR(single.duration(), 10.0, 1e-6);
+  EXPECT_NEAR(striped.duration(), 10.0, 1e-6);
+  EXPECT_EQ(striped.transferred, 125 * MB);
+}
+
+TEST(Streams, StripedTransferWinsShareUnderContention) {
+  // A 4-stream transfer and a 1-stream competitor into the same destination
+  // NIC: fair share per *flow* gives the striped transfer 4/5 of the link.
+  sim::Simulation sim;
+  net::Topology t = star(3, mbps(1000));
+  t.set_nic(2, mbps(1000), mbps(100));  // shared destination
+  net::Network netw(sim, std::move(t), 0.0);
+  net::TransferResult striped, competitor;
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 2, 100 * MB, 4);
+  }(netw, striped));
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(1, 2, 100 * MB, 1);
+  }(netw, competitor));
+  sim.run();
+  EXPECT_TRUE(striped.ok());
+  EXPECT_TRUE(competitor.ok());
+  EXPECT_LT(striped.duration(), competitor.duration());
+  // Striped: 100 MB at 4/5 x 12.5 MB/s = 10 MB/s => 10 s.
+  EXPECT_NEAR(striped.duration(), 10.0, 0.2);
+}
+
+TEST(Streams, SetupLatencyPaidPerStream) {
+  sim::Simulation sim;
+  net::Network netw(sim, star(2, mbps(100)), /*latency=*/0.5);
+  net::TransferResult result;
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB, 4);
+  }(netw, result));
+  sim.run();
+  EXPECT_NEAR(result.duration(), 12.0, 1e-6);  // 4 x 0.5 s setup + 10 s data
+}
+
+TEST(Streams, StreamsNeverExceedBytes) {
+  sim::Simulation sim;
+  net::Network netw(sim, star(2, mbps(100)), 0.0);
+  net::TransferResult result;
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 3, 8);  // 3 bytes cannot fill 8 streams
+  }(netw, result));
+  sim.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.transferred, 3u);
+  EXPECT_THROW(
+      [&] {
+        sim::Simulation s2;
+        net::Network n2(s2, star(2, mbps(100)), 0.0);
+        s2.spawn([](net::Network& n, net::TransferResult&) -> sim::Task<> {
+          (void)co_await n.transfer(0, 1, MB, 0);
+        }(n2, result));
+        s2.run();
+      }(),
+      FriedaError);
+}
+
+TEST(Streams, FailNodeAbortsAllStreams) {
+  sim::Simulation sim;
+  net::Network netw(sim, star(2, mbps(100)), 0.0);
+  net::TransferResult result;
+  sim.spawn([](net::Network& n, net::TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 1250 * MB, 4);
+  }(netw, result));
+  sim.schedule_at(20.0, [&] { netw.fail_node(1); });
+  sim.run();
+  EXPECT_EQ(result.status, net::TransferStatus::kFailed);
+  EXPECT_NEAR(result.finished, 20.0, 1e-6);
+  // 20 s at 12.5 MB/s aggregate = 250 MB moved before the abort.
+  EXPECT_NEAR(static_cast<double>(result.transferred), 250e6, 1e4);
+}
+
+TEST(Streams, EndToEndRunWithStriping) {
+  auto s = capacity_scenario(GiB, chunky_load());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.transfer_streams = 4;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.bytes_moved, s.app->catalog().total_bytes());
+}
+
+}  // namespace
+}  // namespace frieda::core

@@ -1,0 +1,241 @@
+#include "sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace frieda::sim {
+namespace {
+
+TEST(Channel, BufferedSendRecv) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      int value = i;
+      co_await c.send(std::move(value));
+      co_await s.delay(1.0);
+    }
+    c.close();
+  }(sim, ch));
+  sim.spawn([](Channel<int>& c, std::vector<int>& out) -> Task<> {
+    while (true) {
+      auto v = co_await c.recv();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  }(ch, got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Channel, RecvBlocksUntilSend) {
+  Simulation sim;
+  Channel<std::string> ch(sim);
+  double recv_time = -1.0;
+  sim.spawn([](Simulation& s, Channel<std::string>& c, double& t) -> Task<> {
+    auto v = co_await c.recv();
+    EXPECT_EQ(*v, "hello");
+    t = s.now();
+  }(sim, ch, recv_time));
+  sim.spawn([](Simulation& s, Channel<std::string>& c) -> Task<> {
+    co_await s.delay(5.0);
+    co_await c.send("hello");
+  }(sim, ch));
+  sim.run();
+  EXPECT_DOUBLE_EQ(recv_time, 5.0);
+}
+
+TEST(Channel, MultipleReceiversFifo) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, int>> got;  // (receiver id, value)
+  auto receiver = [&](int id) -> Task<> {
+    auto v = co_await ch.recv();
+    got.emplace_back(id, *v);
+  };
+  sim.spawn(receiver(1));
+  sim.spawn(receiver(2));
+  sim.spawn([](Channel<int>& c) -> Task<> {
+    co_await c.send(100);
+    co_await c.send(200);
+  }(ch));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  // Oldest waiter gets the first value.
+  EXPECT_EQ(got[0], (std::pair<int, int>{1, 100}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{2, 200}));
+}
+
+TEST(Channel, BoundedSendBlocks) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  std::vector<double> send_times;
+  sim.spawn([](Simulation& s, Channel<int>& c, std::vector<double>& t) -> Task<> {
+    co_await c.send(1);
+    t.push_back(s.now());
+    co_await c.send(2);  // blocks until the consumer drains
+    t.push_back(s.now());
+  }(sim, ch, send_times));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(4.0);
+    (void)co_await c.recv();
+    (void)co_await c.recv();
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(send_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(send_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(send_times[1], 4.0);
+}
+
+TEST(Channel, TrySend) {
+  Simulation sim;
+  Channel<int> ch(sim, 2);
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_TRUE(ch.try_send(2));
+  EXPECT_FALSE(ch.try_send(3));  // full
+  EXPECT_EQ(ch.size(), 2u);
+  ch.close();
+  EXPECT_FALSE(ch.try_send(4));  // closed
+}
+
+TEST(Channel, CloseDrainsBufferThenNullopt) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  EXPECT_TRUE(ch.try_send(7));
+  ch.close();
+  std::vector<std::optional<int>> got;
+  sim.spawn([](Channel<int>& c, std::vector<std::optional<int>>& out) -> Task<> {
+    out.push_back(co_await c.recv());
+    out.push_back(co_await c.recv());
+  }(ch, got));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::optional<int>(7));
+  EXPECT_EQ(got[1], std::nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedReceivers) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int woke = 0;
+  auto receiver = [&]() -> Task<> {
+    auto v = co_await ch.recv();
+    EXPECT_FALSE(v.has_value());
+    ++woke;
+  };
+  sim.spawn(receiver());
+  sim.spawn(receiver());
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(1.0);
+    c.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(woke, 2);
+}
+
+TEST(Channel, CloseWakesBlockedSenderWithFalse) {
+  Simulation sim;
+  Channel<int> ch(sim, 1);
+  bool second_send_ok = true;
+  sim.spawn([](Channel<int>& c, bool& ok) -> Task<> {
+    EXPECT_TRUE(co_await c.send(1));
+    ok = co_await c.send(2);  // blocks, then fails on close
+  }(ch, second_send_ok));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(2.0);
+    c.close();
+  }(sim, ch));
+  sim.run();
+  EXPECT_FALSE(second_send_ok);
+}
+
+TEST(Channel, RecvUntilTimesOut) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::optional<int> got = 99;
+  double when = -1.0;
+  sim.spawn([](Simulation& s, Channel<int>& c, std::optional<int>& out, double& t) -> Task<> {
+    out = co_await c.recv_until(3.0);
+    t = s.now();
+  }(sim, ch, got, when));
+  sim.run();
+  EXPECT_EQ(got, std::nullopt);
+  EXPECT_DOUBLE_EQ(when, 3.0);
+}
+
+TEST(Channel, RecvUntilDeliveredBeforeDeadline) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::optional<int> got;
+  double when = -1.0;
+  sim.spawn([](Simulation& s, Channel<int>& c, std::optional<int>& out, double& t) -> Task<> {
+    out = co_await c.recv_until(10.0);
+    t = s.now();
+  }(sim, ch, got, when));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(2.0);
+    co_await c.send(5);
+  }(sim, ch));
+  sim.run();
+  EXPECT_EQ(got, std::optional<int>(5));
+  EXPECT_DOUBLE_EQ(when, 2.0);
+}
+
+TEST(Channel, RecvUntilPastDeadlineImmediate) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::optional<int> got = 1;
+  sim.spawn([](Simulation& s, Channel<int>& c, std::optional<int>& out) -> Task<> {
+    co_await s.delay(5.0);
+    out = co_await c.recv_until(3.0);  // deadline already passed
+  }(sim, ch, got));
+  sim.run();
+  EXPECT_EQ(got, std::nullopt);
+}
+
+TEST(Channel, ChannelStillUsableAfterTimeout) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<std::optional<int>> got;
+  sim.spawn([](Channel<int>& c, std::vector<std::optional<int>>& out) -> Task<> {
+    out.push_back(co_await c.recv_until(1.0));  // times out
+    out.push_back(co_await c.recv());           // later delivery works
+  }(ch, got));
+  sim.spawn([](Simulation& s, Channel<int>& c) -> Task<> {
+    co_await s.delay(2.0);
+    co_await c.send(42);
+  }(sim, ch));
+  sim.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::nullopt);
+  EXPECT_EQ(got[1], std::optional<int>(42));
+}
+
+TEST(Channel, ManyProducersOneConsumer) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  int total = 0;
+  for (int p = 0; p < 5; ++p) {
+    sim.spawn([](Simulation& s, Channel<int>& c, int id) -> Task<> {
+      for (int i = 0; i < 10; ++i) {
+        co_await s.delay(0.1 * (id + 1));
+        co_await c.send(1);
+      }
+    }(sim, ch, p));
+  }
+  sim.spawn([](Channel<int>& c, int& sum) -> Task<> {
+    for (int i = 0; i < 50; ++i) {
+      auto v = co_await c.recv();
+      sum += *v;
+    }
+  }(ch, total));
+  sim.run();
+  EXPECT_EQ(total, 50);
+}
+
+}  // namespace
+}  // namespace frieda::sim

@@ -1,0 +1,86 @@
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace frieda {
+namespace {
+
+TEST(Config, ParseBasic) {
+  const auto cfg = Config::parse("a = 1\nb=two\n # comment\n\nc = 3.5 # trailing\n");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b", ""), "two");
+  EXPECT_DOUBLE_EQ(cfg.get_double("c", 0.0), 3.5);
+}
+
+TEST(Config, Sections) {
+  const auto cfg = Config::parse("[frieda]\nstrategy = realtime\n[cluster]\nvms = 4\n");
+  EXPECT_EQ(cfg.get_string("frieda.strategy", ""), "realtime");
+  EXPECT_EQ(cfg.get_int("cluster.vms", 0), 4);
+}
+
+TEST(Config, LaterKeysOverride) {
+  const auto cfg = Config::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(cfg.get_int("k", 0), 2);
+}
+
+TEST(Config, MalformedLineThrows) {
+  EXPECT_THROW(Config::parse("this is not key value\n"), FriedaError);
+  EXPECT_THROW(Config::parse("= novalue\n"), FriedaError);
+  EXPECT_THROW(Config::parse("[unterminated\n"), FriedaError);
+}
+
+TEST(Config, TypedGetterErrors) {
+  const auto cfg = Config::parse("n = abc\n");
+  EXPECT_THROW(cfg.get_int("n", 0), FriedaError);
+  EXPECT_THROW(cfg.get_double("n", 0.0), FriedaError);
+  EXPECT_THROW(cfg.get_bool("n", false), FriedaError);
+}
+
+TEST(Config, Defaults) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 7), 7);
+  EXPECT_EQ(cfg.get_string("missing", "x"), "x");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+  EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, Required) {
+  auto cfg = Config::parse("present = 5\n");
+  EXPECT_EQ(cfg.require_int("present"), 5);
+  EXPECT_THROW(cfg.require_int("absent"), FriedaError);
+  EXPECT_THROW(cfg.require_string("absent"), FriedaError);
+  EXPECT_THROW(cfg.require_double("absent"), FriedaError);
+}
+
+TEST(Config, Bools) {
+  const auto cfg = Config::parse("a = true\nb = off\nc = YES\n");
+  EXPECT_TRUE(cfg.get_bool("a", false));
+  EXPECT_FALSE(cfg.get_bool("b", true));
+  EXPECT_TRUE(cfg.get_bool("c", false));
+}
+
+TEST(Config, Overrides) {
+  auto cfg = Config::parse("a = 1\n");
+  cfg.apply_overrides({"a=10", "new.key = v"});
+  EXPECT_EQ(cfg.get_int("a", 0), 10);
+  EXPECT_EQ(cfg.get_string("new.key", ""), "v");
+  EXPECT_THROW(cfg.apply_overrides({"noequals"}), FriedaError);
+}
+
+TEST(Config, RoundTrip) {
+  auto cfg = Config::parse("b = 2\na = 1\n");
+  const auto text = cfg.to_string();
+  const auto again = Config::parse(text);
+  EXPECT_EQ(again.get_int("a", 0), 1);
+  EXPECT_EQ(again.get_int("b", 0), 2);
+  EXPECT_EQ(again.keys(), cfg.keys());
+}
+
+TEST(Config, LoadFileMissingThrows) {
+  EXPECT_THROW(Config::load_file("/nonexistent/frieda.conf"), FriedaError);
+}
+
+}  // namespace
+}  // namespace frieda

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace frieda {
+namespace {
+
+TEST(Csv, BasicOutput) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  w.add_row_nums({3.5, 4.25});
+  EXPECT_EQ(w.rows(), 2u);
+  EXPECT_EQ(w.to_string(), "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST(Csv, QuotingCommasAndQuotes) {
+  CsvWriter w({"x"});
+  w.add_row({std::string("va,lue")});
+  w.add_row({std::string("say \"hi\"")});
+  const auto s = w.to_string();
+  EXPECT_NE(s.find("\"va,lue\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, WidthMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({std::string("only one")}), FriedaError);
+  EXPECT_THROW(CsvWriter({}), FriedaError);
+}
+
+TEST(Csv, SaveAndReload) {
+  const std::string path = testing::TempDir() + "/frieda_csv_test.csv";
+  CsvWriter w({"h"});
+  w.add_row({std::string("v")});
+  w.save(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::getline(in, line);
+  EXPECT_EQ(line, "v");
+  std::remove(path.c_str());
+  EXPECT_THROW(w.save("/nonexistent/dir/x.csv"), FriedaError);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t("Table I", {"Application", "Sequential (s)"});
+  t.add_row({"ALS", "1258.80"});
+  t.add_row({"BLAST", "61200"});
+  t.add_note("paper values");
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("== Table I =="), std::string::npos);
+  EXPECT_NE(s.find("| ALS"), std::string::npos);
+  EXPECT_NE(s.find("* paper values"), std::string::npos);
+  // Separator rule appears at least 3 times (top, under header, bottom).
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, WidthMismatchThrows) {
+  TextTable t("x", {"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), FriedaError);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(1258.8, 1), "1258.8");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace frieda

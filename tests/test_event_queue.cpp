@@ -1,0 +1,99 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace frieda::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, [&] { order.push_back(3); });
+  q.push(1.0, [&] { order.push_back(1); });
+  q.push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) q.push(5.0, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.push(4.25, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 4.25);
+  auto [t, fn] = q.pop();
+  EXPECT_DOUBLE_EQ(t, 4.25);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  int fired = 0;
+  auto h = q.push(1.0, [&] { ++fired; });
+  q.push(2.0, [&] { ++fired; });
+  EXPECT_TRUE(h.pending());
+  q.cancel(h);
+  EXPECT_FALSE(h.pending());
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  q.cancel(h);
+  q.cancel(h);  // no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelAllLeavesEmpty) {
+  EventQueue q;
+  std::vector<EventQueue::Handle> handles;
+  for (int i = 0; i < 5; ++i) handles.push_back(q.push(1.0 * i, [] {}));
+  for (auto& h : handles) q.cancel(h);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  auto a = q.push(1.0, [] {});
+  auto b = q.push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_EQ(q.size(), 0u);
+  (void)b;
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), FriedaError);
+  EXPECT_THROW(q.next_time(), FriedaError);
+}
+
+TEST(EventQueue, HandleOutlivesFiredEvent) {
+  EventQueue q;
+  auto h = q.push(1.0, [] {});
+  q.pop().second();
+  EXPECT_FALSE(h.pending());
+  q.cancel(h);  // safe after fire
+}
+
+}  // namespace
+}  // namespace frieda::sim

@@ -1,0 +1,119 @@
+// Property-based tests of the max-min fair allocator.
+#include "net/fairshare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace frieda::net {
+namespace {
+
+TEST(FairShare, EmptyInputs) {
+  EXPECT_TRUE(max_min_fair_rates({}, {}).empty());
+  EXPECT_TRUE(max_min_fair_rates({100.0}, {}).empty());
+}
+
+TEST(FairShare, SingleFlowGetsFullCapacity) {
+  const auto rates = max_min_fair_rates({10.0}, {{{0}}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+}
+
+TEST(FairShare, EqualSplitOnSharedLink) {
+  const auto rates = max_min_fair_rates({12.0}, {{{0}}, {{0}}, {{0}}});
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(FairShare, BottleneckedFlowFreesCapacityForOthers) {
+  // Flow 0 crosses both links; link 1 is tight.  Flow 1 only crosses link 0
+  // and should pick up what flow 0 cannot use.
+  const auto rates = max_min_fair_rates({10.0, 2.0}, {{{0, 1}}, {{0}}});
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[1], 8.0);
+}
+
+TEST(FairShare, ClassicThreeFlowExample) {
+  // Textbook max-min instance: links A=10, B=10; flows: f0 over A+B,
+  // f1 over A, f2 over B.  Fair allocation: f0=5, f1=5, f2=5.
+  const auto rates = max_min_fair_rates({10.0, 10.0}, {{{0, 1}}, {{0}}, {{1}}});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+  EXPECT_DOUBLE_EQ(rates[2], 5.0);
+}
+
+TEST(FairShare, ZeroCapacityResourceZeroesItsFlows) {
+  const auto rates = max_min_fair_rates({0.0, 10.0}, {{{0}}, {{1}}});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 10.0);
+}
+
+TEST(FairShare, InvalidFlowThrows) {
+  EXPECT_THROW(max_min_fair_rates({1.0}, {{{5}}}), FriedaError);
+  EXPECT_THROW(max_min_fair_rates({1.0}, {{{}}}), FriedaError);
+}
+
+// Property sweep: random instances must satisfy the max-min invariants.
+class FairShareProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FairShareProperty, InvariantsHold) {
+  Rng rng(GetParam());
+  const std::size_t nr = 1 + rng.index(6);
+  const std::size_t nf = 1 + rng.index(12);
+  std::vector<Bandwidth> caps(nr);
+  for (auto& c : caps) c = rng.uniform(1.0, 100.0);
+  std::vector<FlowConstraints> flows(nf);
+  for (auto& f : flows) {
+    const std::size_t k = 1 + rng.index(nr);
+    for (std::size_t j = 0; j < k; ++j) {
+      f.resources.push_back(rng.index(nr));
+    }
+  }
+  const auto rates = max_min_fair_rates(caps, flows);
+  ASSERT_EQ(rates.size(), nf);
+
+  // Invariant 1: feasibility — no resource is oversubscribed.
+  std::vector<double> load(nr, 0.0);
+  for (std::size_t i = 0; i < nf; ++i) {
+    EXPECT_GE(rates[i], 0.0);
+    for (std::size_t r : flows[i].resources) load[r] += rates[i];
+  }
+  for (std::size_t r = 0; r < nr; ++r) EXPECT_LE(load[r], caps[r] * (1.0 + 1e-9));
+
+  // Invariant 2: every flow is bottlenecked — it crosses at least one
+  // saturated resource on which it has a maximal rate (the max-min
+  // optimality condition).
+  for (std::size_t i = 0; i < nf; ++i) {
+    bool bottlenecked = false;
+    for (std::size_t r : flows[i].resources) {
+      const bool saturated = load[r] >= caps[r] * (1.0 - 1e-9);
+      if (!saturated) continue;
+      bool maximal = true;
+      for (std::size_t j = 0; j < nf; ++j) {
+        if (j == i) continue;
+        const bool shares =
+            std::find(flows[j].resources.begin(), flows[j].resources.end(), r) !=
+            flows[j].resources.end();
+        if (shares && rates[j] > rates[i] * (1.0 + 1e-9)) {
+          maximal = false;
+          break;
+        }
+      }
+      if (maximal) {
+        bottlenecked = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(bottlenecked) << "flow " << i << " is not max-min bottlenecked";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, FairShareProperty,
+                         ::testing::Range<std::uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace frieda::net

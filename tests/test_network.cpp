@@ -1,0 +1,253 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "net/topology.hpp"
+
+namespace frieda::net {
+namespace {
+
+Topology star(std::size_t nodes, Bandwidth nic) {
+  Topology t;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    t.add_node("n" + std::to_string(i), nic, nic);
+  }
+  return t;
+}
+
+TEST(Topology, Basics) {
+  Topology t;
+  const auto a = t.add_node("a", mbps(100), mbps(200));
+  const auto b = t.add_node("b", mbps(50), mbps(50));
+  EXPECT_EQ(t.node_count(), 2u);
+  EXPECT_EQ(t.name(a), "a");
+  EXPECT_DOUBLE_EQ(t.egress(a), mbps(100));
+  EXPECT_DOUBLE_EQ(t.ingress(a), mbps(200));
+  t.set_nic(a, mbps(10), mbps(10));
+  EXPECT_DOUBLE_EQ(t.egress(a), mbps(10));
+  t.set_pair_limit(a, b, mbps(5));
+  EXPECT_DOUBLE_EQ(t.pair_limit(a, b), mbps(5));
+  EXPECT_TRUE(std::isinf(t.pair_limit(b, a)));
+  EXPECT_FALSE(t.has_backbone_cap());
+  t.set_backbone_capacity(gbps(1));
+  EXPECT_TRUE(t.has_backbone_cap());
+  EXPECT_THROW(t.name(99), FriedaError);
+  EXPECT_THROW(t.add_node("bad", 0.0, 1.0), FriedaError);
+}
+
+TEST(Network, SingleTransferTakesBytesOverRate) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), /*latency=*/0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB);  // 125 MB @ 12.5 MB/s = 10 s
+  }(netw, result));
+  sim.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.transferred, 125 * MB);
+  EXPECT_NEAR(result.duration(), 10.0, 1e-6);
+  EXPECT_EQ(netw.total_bytes_moved(), 125 * MB);
+  EXPECT_EQ(netw.traffic(0).bytes_sent, 125 * MB);
+  EXPECT_EQ(netw.traffic(1).bytes_received, 125 * MB);
+}
+
+TEST(Network, LatencyAddsToTransferTime) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), /*latency=*/0.5);
+  double finished = 0.0;
+  sim.spawn([](Network& n, double& t, sim::Simulation& s) -> sim::Task<> {
+    (void)co_await n.transfer(0, 1, 125 * MB);
+    t = s.now();
+  }(netw, finished, sim));
+  sim.run();
+  EXPECT_NEAR(finished, 10.5, 1e-6);
+}
+
+TEST(Network, TwoFlowsShareSourceEgress) {
+  sim::Simulation sim;
+  Network netw(sim, star(3, mbps(100)), 0.0);
+  std::vector<double> durations(2);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Network& n, double& d, int dst) -> sim::Task<> {
+      const auto r = co_await n.transfer(0, static_cast<NodeId>(dst), 125 * MB);
+      d = r.duration();
+    }(netw, durations[i], i + 1));
+  }
+  sim.run();
+  // Both share node 0's 12.5 MB/s egress: each takes ~20 s.
+  EXPECT_NEAR(durations[0], 20.0, 1e-6);
+  EXPECT_NEAR(durations[1], 20.0, 1e-6);
+}
+
+TEST(Network, FlowSpeedsUpWhenCompetitorFinishes) {
+  sim::Simulation sim;
+  Network netw(sim, star(3, mbps(100)), 0.0);
+  double long_duration = 0.0;
+  // Short flow: 62.5 MB; long flow: 187.5 MB, both from node 0.
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    const auto r = co_await n.transfer(0, 1, 1875 * MB / 10);
+    d = r.duration();
+  }(netw, long_duration));
+  sim.spawn([](Network& n) -> sim::Task<> {
+    (void)co_await n.transfer(0, 2, 625 * MB / 10);
+  }(netw));
+  sim.run();
+  // Phase 1: both at 6.25 MB/s until the short flow finishes at t=10
+  // (62.5 MB / 6.25).  Long flow then has 125 MB left at 12.5 MB/s => +10 s.
+  EXPECT_NEAR(long_duration, 20.0, 1e-6);
+}
+
+TEST(Network, DestinationIngressBottleneck) {
+  sim::Simulation sim;
+  Topology t = star(3, mbps(1000));
+  t.set_nic(2, mbps(1000), mbps(100));  // slow receiver
+  Network netw(sim, std::move(t), 0.0);
+  std::vector<double> durations(2);
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(0, 2, 125 * MB)).duration();
+  }(netw, durations[0]));
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(1, 2, 125 * MB)).duration();
+  }(netw, durations[1]));
+  sim.run();
+  EXPECT_NEAR(durations[0], 20.0, 1e-6);
+  EXPECT_NEAR(durations[1], 20.0, 1e-6);
+}
+
+TEST(Network, PairLimitCapsFlow) {
+  sim::Simulation sim;
+  Topology t = star(2, mbps(1000));
+  t.set_pair_limit(0, 1, mbps(100));
+  Network netw(sim, std::move(t), 0.0);
+  double duration = 0.0;
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(0, 1, 125 * MB)).duration();
+  }(netw, duration));
+  sim.run();
+  EXPECT_NEAR(duration, 10.0, 1e-6);
+}
+
+TEST(Network, BackboneCapSharedByAllFlows) {
+  sim::Simulation sim;
+  Topology t = star(4, mbps(1000));
+  t.set_backbone_capacity(mbps(100));
+  Network netw(sim, std::move(t), 0.0);
+  std::vector<double> durations(2);
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(0, 1, 125 * MB)).duration();
+  }(netw, durations[0]));
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(2, 3, 125 * MB)).duration();
+  }(netw, durations[1]));
+  sim.run();
+  EXPECT_NEAR(durations[0], 20.0, 1e-6);  // 6.25 MB/s each on the backbone
+  EXPECT_NEAR(durations[1], 20.0, 1e-6);
+}
+
+TEST(Network, LoopbackBypassesNic) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), 0.0, /*loopback=*/gbps(10));
+  double duration = -1.0;
+  sim.spawn([](Network& n, double& d) -> sim::Task<> {
+    d = (co_await n.transfer(0, 0, 125 * MB)).duration();
+  }(netw, duration));
+  sim.run();
+  EXPECT_NEAR(duration, 0.1, 1e-6);  // 125 MB @ 1.25 GB/s
+}
+
+TEST(Network, ZeroByteTransferCompletesImmediately) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), 0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 0);
+  }(netw, result));
+  sim.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_NEAR(result.duration(), 0.0, 1e-12);
+}
+
+TEST(Network, FailNodeAbortsItsFlows) {
+  sim::Simulation sim;
+  Network netw(sim, star(3, mbps(100)), 0.0);
+  TransferResult to_failed, unaffected;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 1250 * MB);  // would take 200 s alone
+  }(netw, to_failed));
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 2, 1250 * MB);
+  }(netw, unaffected));
+  sim.schedule_at(50.0, [&] { netw.fail_node(1); });
+  sim.run();
+  EXPECT_EQ(to_failed.status, TransferStatus::kFailed);
+  EXPECT_NEAR(to_failed.finished, 50.0, 1e-6);
+  // 50 s at 6.25 MB/s = 312.5 MB moved before the abort.
+  EXPECT_NEAR(static_cast<double>(to_failed.transferred), 312.5e6, 1e3);
+  EXPECT_TRUE(unaffected.ok());
+  // Competitor then gets the full 12.5 MB/s: 312.5 MB at 6.25 + 937.5 MB at
+  // 12.5 => 50 + 75 = 125 s total.
+  EXPECT_NEAR(unaffected.duration(), 125.0, 1e-6);
+}
+
+TEST(Network, TransferToFailedNodeFailsImmediately) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), 0.0);
+  netw.fail_node(1);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, MB);
+  }(netw, result));
+  sim.run();
+  EXPECT_EQ(result.status, TransferStatus::kFailed);
+  EXPECT_EQ(result.transferred, 0u);
+  netw.restore_node(1);
+  EXPECT_FALSE(netw.node_failed(1));
+}
+
+TEST(Network, ObserverSeesCompletedTransfers) {
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), 0.0);
+  int observed = 0;
+  netw.set_observer([&](NodeId src, NodeId dst, const TransferResult& r) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(dst, 1u);
+    EXPECT_TRUE(r.ok());
+    ++observed;
+  });
+  sim.spawn([](Network& n) -> sim::Task<> {
+    (void)co_await n.transfer(0, 1, MB);
+    (void)co_await n.transfer(0, 1, MB);
+  }(netw));
+  sim.run();
+  EXPECT_EQ(observed, 2);
+  EXPECT_EQ(netw.transfers_started(), 2u);
+}
+
+TEST(Network, ManyConcurrentFlowsConserveBytes) {
+  sim::Simulation sim;
+  Network netw(sim, star(5, mbps(100)), 0.0);
+  const Bytes each = 10 * MB;
+  int completed = 0;
+  for (NodeId dst = 1; dst < 5; ++dst) {
+    for (int k = 0; k < 3; ++k) {
+      sim.spawn([](Network& n, NodeId d, Bytes b, int& done) -> sim::Task<> {
+        const auto r = co_await n.transfer(0, d, b);
+        EXPECT_TRUE(r.ok());
+        done += 1;
+      }(netw, dst, each, completed));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(completed, 12);
+  EXPECT_EQ(netw.total_bytes_moved(), 12 * each);
+  // All 12 flows share node 0's egress: total time = 120 MB / 12.5 MB/s.
+  EXPECT_NEAR(sim.now(), 9.6, 1e-6);
+}
+
+}  // namespace
+}  // namespace frieda::net

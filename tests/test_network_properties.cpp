@@ -1,0 +1,111 @@
+// Property tests of the flow-level network under random churn: random
+// topologies, random transfer arrivals, random node failures — byte
+// conservation, completion accounting, and rate feasibility must hold.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace frieda::net {
+namespace {
+
+struct ChurnOutcome {
+  Bytes requested_ok = 0;    ///< bytes of transfers that completed
+  Bytes transferred = 0;     ///< bytes the network reports moved
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t total = 0;
+  double last_finish = 0.0;
+};
+
+ChurnOutcome run_churn(std::uint64_t seed, bool with_failures) {
+  sim::Simulation sim(seed);
+  Rng rng = sim.rng().fork();
+
+  Topology topo;
+  const std::size_t nodes = 3 + rng.index(6);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    topo.add_node("n" + std::to_string(i), mbps(rng.uniform(20, 500)),
+                  mbps(rng.uniform(20, 500)));
+  }
+  if (rng.chance(0.5)) topo.set_backbone_capacity(mbps(rng.uniform(100, 1000)));
+  if (rng.chance(0.5) && nodes >= 4) {
+    topo.set_site(static_cast<NodeId>(nodes - 1), 1);
+    topo.set_site(static_cast<NodeId>(nodes - 2), 1);
+    topo.set_intersite_capacity(0, 1, mbps(rng.uniform(10, 100)));
+  }
+  Network netw(sim, std::move(topo), /*latency=*/rng.chance(0.5) ? 1e-3 : 0.0);
+
+  auto outcome = std::make_shared<ChurnOutcome>();
+  const std::size_t transfers = 20 + rng.index(30);
+  outcome->total = transfers;
+  for (std::size_t i = 0; i < transfers; ++i) {
+    const auto src = static_cast<NodeId>(rng.index(nodes));
+    auto dst = static_cast<NodeId>(rng.index(nodes));
+    if (dst == src) dst = static_cast<NodeId>((dst + 1) % nodes);
+    const Bytes bytes = static_cast<Bytes>(rng.uniform(0.1, 30.0) * 1e6);
+    const double start = rng.uniform(0.0, 20.0);
+    const unsigned streams = 1 + static_cast<unsigned>(rng.index(4));
+    sim.schedule_at(start, [&netw, &sim, src, dst, bytes, streams, outcome] {
+      sim.spawn([](Network& n, sim::Simulation& s, NodeId a, NodeId b, Bytes sz,
+                   unsigned k, std::shared_ptr<ChurnOutcome> out) -> sim::Task<> {
+        const auto r = co_await n.transfer(a, b, sz, k);
+        out->transferred += r.transferred;
+        out->last_finish = std::max(out->last_finish, s.now());
+        if (r.ok()) {
+          out->requested_ok += r.requested;
+          EXPECT_EQ(r.transferred, r.requested);
+          ++out->completed;
+        } else {
+          EXPECT_LE(r.transferred, r.requested);
+          ++out->failed;
+        }
+      }(netw, sim, src, dst, bytes, streams, outcome),
+                "churn-transfer");
+    });
+  }
+  if (with_failures) {
+    const std::size_t kills = 1 + rng.index(2);
+    for (std::size_t i = 0; i < kills; ++i) {
+      const auto victim = static_cast<NodeId>(rng.index(nodes));
+      sim.schedule_at(rng.uniform(5.0, 25.0), [&netw, victim] { netw.fail_node(victim); });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(netw.active_flows(), 0u);  // the fluid model drained completely
+  return *outcome;
+}
+
+class NetworkChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NetworkChurn, HealthyNetworkDeliversEverything) {
+  const auto out = run_churn(GetParam(), /*with_failures=*/false);
+  EXPECT_EQ(out.completed, out.total);
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_EQ(out.transferred, out.requested_ok);
+  EXPECT_GT(out.last_finish, 0.0);
+}
+
+TEST_P(NetworkChurn, FailuresAreAccountedNotLost) {
+  const auto out = run_churn(GetParam() + 1000, /*with_failures=*/true);
+  EXPECT_EQ(out.completed + out.failed, out.total);
+  // Completed transfers delivered in full; bytes never exceed requests.
+  EXPECT_GE(out.transferred, out.requested_ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkChurn, ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(NetworkChurn, DeterministicUnderSeed) {
+  const auto a = run_churn(424242, true);
+  const auto b = run_churn(424242, true);
+  EXPECT_EQ(a.transferred, b.transferred);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_DOUBLE_EQ(a.last_finish, b.last_finish);
+}
+
+}  // namespace
+}  // namespace frieda::net

@@ -1,0 +1,158 @@
+// Unit + property tests of the partition generator (paper Section II.E).
+#include "frieda/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace frieda::core {
+namespace {
+
+storage::FileCatalog make_catalog(std::size_t n) {
+  storage::FileCatalog cat;
+  for (std::size_t i = 0; i < n; ++i) cat.add_file("f" + std::to_string(i), MB);
+  return cat;
+}
+
+TEST(Partition, SingleFile) {
+  const auto cat = make_catalog(5);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, cat);
+  ASSERT_EQ(units.size(), 5u);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].id, i);
+    ASSERT_EQ(units[i].inputs.size(), 1u);
+    EXPECT_EQ(units[i].inputs[0], i);
+  }
+}
+
+TEST(Partition, OneToAll) {
+  const auto cat = make_catalog(4);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kOneToAll, cat);
+  ASSERT_EQ(units.size(), 3u);
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    ASSERT_EQ(units[i].inputs.size(), 2u);
+    EXPECT_EQ(units[i].inputs[0], 0u);  // the reference file
+    EXPECT_EQ(units[i].inputs[1], i + 1);
+  }
+}
+
+TEST(Partition, PairwiseAdjacent) {
+  const auto cat = make_catalog(6);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kPairwiseAdjacent, cat);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].inputs, (std::vector<storage::FileId>{0, 1}));
+  EXPECT_EQ(units[1].inputs, (std::vector<storage::FileId>{2, 3}));
+  EXPECT_EQ(units[2].inputs, (std::vector<storage::FileId>{4, 5}));
+}
+
+TEST(Partition, PairwiseAdjacentOddDropsLast) {
+  const auto cat = make_catalog(5);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kPairwiseAdjacent, cat);
+  EXPECT_EQ(units.size(), 2u);  // floor(5/2)
+}
+
+TEST(Partition, AllToAll) {
+  const auto cat = make_catalog(4);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kAllToAll, cat);
+  ASSERT_EQ(units.size(), 6u);  // C(4,2)
+  std::set<std::pair<storage::FileId, storage::FileId>> pairs;
+  for (const auto& u : units) {
+    ASSERT_EQ(u.inputs.size(), 2u);
+    EXPECT_LT(u.inputs[0], u.inputs[1]);
+    pairs.insert({u.inputs[0], u.inputs[1]});
+  }
+  EXPECT_EQ(pairs.size(), 6u);  // all distinct
+}
+
+TEST(Partition, DegenerateInputsThrow) {
+  const auto one = make_catalog(1);
+  EXPECT_THROW(PartitionGenerator::generate(PartitionScheme::kOneToAll, one), FriedaError);
+  EXPECT_THROW(PartitionGenerator::generate(PartitionScheme::kAllToAll, one), FriedaError);
+  EXPECT_EQ(PartitionGenerator::generate(PartitionScheme::kSingleFile, one).size(), 1u);
+  EXPECT_EQ(PartitionGenerator::generate(PartitionScheme::kPairwiseAdjacent, one).size(), 0u);
+}
+
+TEST(Partition, CustomSchemeRegistry) {
+  PartitionGenerator gen;
+  EXPECT_FALSE(gen.has_scheme("stride"));
+  gen.register_scheme("stride", [](const storage::FileCatalog& cat) {
+    std::vector<std::vector<storage::FileId>> groups;
+    const auto ids = cat.all_ids();
+    for (std::size_t i = 0; i + 2 < ids.size(); i += 3) {
+      groups.push_back({ids[i], ids[i + 2]});
+    }
+    return groups;
+  });
+  EXPECT_TRUE(gen.has_scheme("stride"));
+  EXPECT_EQ(gen.scheme_names(), (std::vector<std::string>{"stride"}));
+
+  const auto cat = make_catalog(7);
+  const auto units = gen.generate_custom("stride", cat);
+  ASSERT_EQ(units.size(), 2u);
+  EXPECT_EQ(units[0].inputs, (std::vector<storage::FileId>{0, 2}));
+  EXPECT_EQ(units[1].inputs, (std::vector<storage::FileId>{3, 5}));
+  EXPECT_THROW(gen.generate_custom("unknown", cat), FriedaError);
+  EXPECT_THROW(gen.register_scheme("bad", nullptr), FriedaError);
+}
+
+TEST(Partition, InputBytes) {
+  storage::FileCatalog cat;
+  cat.add_file("a", 3 * MB);
+  cat.add_file("b", 4 * MB);
+  const auto units = PartitionGenerator::generate(PartitionScheme::kPairwiseAdjacent, cat);
+  ASSERT_EQ(units.size(), 1u);
+  EXPECT_EQ(units[0].input_bytes(cat), 7 * MB);
+}
+
+// Property sweep over catalog sizes: cardinalities, coverage, dense ids.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<PartitionScheme, std::size_t>> {};
+
+TEST_P(PartitionProperty, CardinalityCoverageAndDenseIds) {
+  const auto [scheme, n] = GetParam();
+  if (n < 2 &&
+      (scheme == PartitionScheme::kOneToAll || scheme == PartitionScheme::kAllToAll)) {
+    GTEST_SKIP() << "degenerate case covered separately";
+  }
+  const auto cat = make_catalog(n);
+  const auto units = PartitionGenerator::generate(scheme, cat);
+
+  // Cardinality matches the closed form.
+  std::size_t expected = 0;
+  switch (scheme) {
+    case PartitionScheme::kSingleFile: expected = n; break;
+    case PartitionScheme::kOneToAll: expected = n - 1; break;
+    case PartitionScheme::kPairwiseAdjacent: expected = n / 2; break;
+    case PartitionScheme::kAllToAll: expected = n * (n - 1) / 2; break;
+  }
+  EXPECT_EQ(units.size(), expected);
+
+  // Ids dense and ordered; inputs valid; no empty groups.
+  std::set<storage::FileId> covered;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].id, i);
+    EXPECT_FALSE(units[i].inputs.empty());
+    for (const auto f : units[i].inputs) {
+      EXPECT_LT(f, n);
+      covered.insert(f);
+    }
+  }
+  // Coverage: every file appears in at least one group (except the odd tail
+  // of pairwise-adjacent).
+  const std::size_t expected_coverage =
+      scheme == PartitionScheme::kPairwiseAdjacent ? (n / 2) * 2 : (expected ? n : 0);
+  EXPECT_EQ(covered.size(), expected_coverage);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(::testing::Values(PartitionScheme::kSingleFile,
+                                         PartitionScheme::kOneToAll,
+                                         PartitionScheme::kPairwiseAdjacent,
+                                         PartitionScheme::kAllToAll),
+                       ::testing::Values<std::size_t>(2, 3, 4, 7, 16, 33, 100)));
+
+}  // namespace
+}  // namespace frieda::core

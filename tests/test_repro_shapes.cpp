@@ -1,0 +1,111 @@
+// Paper-shape assertions (scaled-down versions of Table I, Figures 6 and 7).
+//
+// These tests run the exact scenario builders the benches use, at 20% of the
+// paper's dataset sizes so they stay fast, and assert the *relations* the
+// paper reports: who wins, roughly by how much, and which workloads are
+// insensitive.  The full-scale numbers live in bench/ and EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "workload/calibration.hpp"
+#include "workload/scenarios.hpp"
+
+namespace frieda::workload {
+namespace {
+
+using core::PlacementStrategy;
+
+PaperScenarioOptions scaled() {
+  PaperScenarioOptions opt;
+  opt.scale = 0.2;
+  return opt;
+}
+
+TEST(ReproShapes, AlsParallelSpeedupIsModest) {
+  // Table I: ALS gains only ~2x from 16 cores because staging dominates.
+  const auto opt = scaled();
+  const auto seq = run_als_sequential(opt);
+  const auto rt = run_als(PlacementStrategy::kRealTime, opt);
+  ASSERT_TRUE(seq.all_completed());
+  ASSERT_TRUE(rt.all_completed());
+  const double speedup = seq.makespan() / rt.makespan();
+  EXPECT_GT(speedup, 1.4);
+  EXPECT_LT(speedup, 3.5);
+}
+
+TEST(ReproShapes, BlastParallelSpeedupIsLarge) {
+  // Table I: BLAST gains ~15x — compute-bound, 16 cores.
+  const auto opt = scaled();
+  const auto seq = run_blast_sequential(opt);
+  const auto rt = run_blast(PlacementStrategy::kRealTime, opt);
+  ASSERT_TRUE(seq.all_completed());
+  ASSERT_TRUE(rt.all_completed());
+  const double speedup = seq.makespan() / rt.makespan();
+  EXPECT_GT(speedup, 11.0);
+  EXPECT_LT(speedup, 16.5);
+}
+
+TEST(ReproShapes, AlsStrategyOrderingMatchesFigure6a) {
+  // Figure 6a: local < real-time < pre-partition-remote.
+  const auto opt = scaled();
+  const auto local = run_als(PlacementStrategy::kPrePartitionLocal, opt);
+  const auto rt = run_als(PlacementStrategy::kRealTime, opt);
+  const auto pre = run_als(PlacementStrategy::kPrePartitionRemote, opt);
+  ASSERT_TRUE(local.all_completed() && rt.all_completed() && pre.all_completed());
+  EXPECT_LT(local.makespan(), rt.makespan());
+  EXPECT_LT(rt.makespan(), pre.makespan());
+  // Real-time hides most of the transfer behind compute: the win over
+  // pre-partitioning should be a visible chunk of the compute time.
+  EXPECT_GT(pre.makespan() - rt.makespan(), 0.5 * local.makespan());
+}
+
+TEST(ReproShapes, AlsRealTimeOverlapsPrePartitionDoesNot) {
+  const auto opt = scaled();
+  const auto rt = run_als(PlacementStrategy::kRealTime, opt);
+  const auto pre = run_als(PlacementStrategy::kPrePartitionRemote, opt);
+  EXPECT_GT(rt.overlap(), 0.25 * rt.compute_busy());
+  EXPECT_NEAR(pre.overlap(), 0.0, 1e-6);
+  EXPECT_GT(pre.staging_seconds(), 0.5 * pre.makespan());  // staging dominates
+}
+
+TEST(ReproShapes, BlastRealTimeBeatsPrePartitionViaBalancing) {
+  // Figure 6b / Table I: real-time wins on BLAST through load balancing of
+  // the skewed per-sequence costs, not transfer overlap.
+  const auto opt = scaled();
+  const auto rt = run_blast(PlacementStrategy::kRealTime, opt);
+  const auto pre = run_blast(PlacementStrategy::kPrePartitionRemote, opt);
+  ASSERT_TRUE(rt.all_completed() && pre.all_completed());
+  EXPECT_LT(rt.makespan(), pre.makespan());
+  // But the gap is modest (paper: 4131 vs 3795, ~8%).
+  EXPECT_LT((pre.makespan() - rt.makespan()) / pre.makespan(), 0.25);
+}
+
+TEST(ReproShapes, Figure7aAlsPrefersMovingComputationToData) {
+  // Fig 7a: moving the computation to resident data beats moving the data.
+  const auto opt = scaled();
+  const auto move_compute = run_als(PlacementStrategy::kPrePartitionLocal, opt);
+  const auto move_data = run_als(PlacementStrategy::kPrePartitionRemote, opt);
+  EXPECT_LT(move_compute.makespan(), 0.6 * move_data.makespan());
+}
+
+TEST(ReproShapes, Figure7bBlastInsensitiveToPlacement) {
+  // Fig 7b: BLAST is almost insensitive to where data/compute sit.
+  const auto opt = scaled();
+  const auto move_compute = run_blast(PlacementStrategy::kPrePartitionLocal, opt);
+  const auto move_data = run_blast(PlacementStrategy::kPrePartitionRemote, opt);
+  const double gap =
+      std::abs(move_compute.makespan() - move_data.makespan()) / move_data.makespan();
+  EXPECT_LT(gap, 0.10);
+}
+
+TEST(ReproShapes, BlastBytesDominatedByDatabase) {
+  // Section IV.B: "the data movement costs are dominated by the backend
+  // database that needs to be available on every node."
+  const auto opt = scaled();
+  const auto rt = run_blast(PlacementStrategy::kRealTime, opt);
+  const Bytes db = static_cast<Bytes>(calib::kBlastDatabaseBytes * opt.scale);
+  EXPECT_GT(rt.bytes_moved, 4 * db);             // one copy per node
+  EXPECT_LT(rt.bytes_moved, 4 * db + 100 * MB);  // queries are tiny
+}
+
+}  // namespace
+}  // namespace frieda::workload

@@ -1,0 +1,119 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace frieda {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanCloseToHalf) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.uniform());
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 4);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(2, 1), FriedaError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMatchesRequestedMeanAndCv) {
+  Rng rng(23);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.lognormal_mean_cv(8.16, 0.5));
+  EXPECT_NEAR(s.mean(), 8.16, 0.1);
+  EXPECT_NEAR(s.cv(), 0.5, 0.02);
+  // Degenerate CV returns the mean exactly.
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cv(4.0, 0.0), 4.0);
+  EXPECT_THROW(rng.lognormal_mean_cv(-1.0, 0.5), FriedaError);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate) {
+  Rng rng(29);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), FriedaError);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(rng.lognormal_mean_cv(1.0, 2.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, IndexAndShuffle) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(10), 10u);
+  EXPECT_THROW(rng.index(0), FriedaError);
+
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::vector<int> sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);  // permutation property
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  // Child stream differs from parent's subsequent stream.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (parent.next_u64() == child.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace frieda

@@ -1,0 +1,210 @@
+// Edge cases of the run engine: consecutive runs on one cluster, degenerate
+// configurations, and option interplay.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "workload/synthetic.hpp"
+
+namespace frieda::core {
+namespace {
+
+using cluster::VirtualCluster;
+using workload::SyntheticModel;
+using workload::SyntheticParams;
+
+SyntheticParams tiny_load(std::size_t files = 12) {
+  SyntheticParams params;
+  params.file_count = files;
+  params.mean_file_bytes = MB;
+  params.mean_task_seconds = 0.5;
+  return params;
+}
+
+TEST(RunEdges, ConsecutiveRunsOnOneCluster) {
+  // Two campaigns back to back over the same VMs — the idiom workflows and
+  // the adaptive selector rely on.  The first run's observers must not
+  // linger (its channels are destroyed before the second run).
+  sim::Simulation sim(91);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 2;
+  cluster.provision(type, 2);
+  SyntheticModel app(tiny_load(20));
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  {
+    FriedaRun first(cluster, app.catalog(), units, app, CommandTemplate("app $inp1"), opt);
+    EXPECT_TRUE(first.run().all_completed());
+  }  // destroyed: observers unregistered
+
+  FriedaRun second(cluster, app.catalog(), units, app, CommandTemplate("app $inp1"), opt);
+  // A failure during the second run must only reach the second run.  Note
+  // the simulation clock is shared: schedule relative to now.
+  cluster::FailureInjector injector(cluster);
+  injector.schedule(1, sim.now() + 1.0);
+  const auto report = second.run();
+  EXPECT_EQ(report.workers_isolated, 2u);
+  EXPECT_EQ(report.units_completed + report.units_failed + report.units_unprocessed,
+            report.units_total);
+}
+
+TEST(RunEdges, SecondRunSeesFirstRunsDiskUsage) {
+  // Outputs of run 1 occupy the shared disks; run 2's capacity accounting
+  // starts from that state.
+  sim::Simulation sim(92);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 1;
+  type.disk_capacity = 200 * MB;
+  cluster.provision(type, 1);
+  auto params = tiny_load(10);
+  params.output_bytes = 5 * MB;
+  SyntheticModel app(params);
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  {
+    FriedaRun first(cluster, app.catalog(), units, app, CommandTemplate("app $inp1"), opt);
+    EXPECT_TRUE(first.run().all_completed());
+  }
+  const Bytes used_after_first = cluster.vm(0).disk().used();
+  EXPECT_GE(used_after_first, 50u * MB);  // 10 inputs + 10 outputs
+  FriedaRun second(cluster, app.catalog(), units, app, CommandTemplate("app $inp1"), opt);
+  EXPECT_TRUE(second.run().all_completed());
+  EXPECT_GT(cluster.vm(0).disk().used(), used_after_first);  // more outputs
+}
+
+TEST(RunEdges, SingleUnitRun) {
+  sim::Simulation sim(93);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  cluster.provision(type, 1);
+  SyntheticModel app(tiny_load(1));
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  RunOptions opt;
+  FriedaRun run(cluster, app.catalog(), std::move(units), app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.units_total, 1u);
+  // Only one worker got work; the rest idled.
+  std::size_t busy_workers = 0;
+  for (const auto& w : report.workers) busy_workers += w.units_completed > 0;
+  EXPECT_EQ(busy_workers, 1u);
+}
+
+TEST(RunEdges, ConstructorValidation) {
+  sim::Simulation sim(94);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  cluster.provision(type, 1);
+  SyntheticModel app(tiny_load());
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+
+  // Empty unit list.
+  EXPECT_THROW(FriedaRun(cluster, app.catalog(), {}, app, CommandTemplate("app $inp1"),
+                         RunOptions{}),
+               FriedaError);
+  // Arity mismatch: pairwise units with a single-input command.
+  auto pairs = PartitionGenerator::generate(PartitionScheme::kPairwiseAdjacent, app.catalog());
+  EXPECT_THROW(FriedaRun(cluster, app.catalog(), pairs, app, CommandTemplate("app $inp1"),
+                         RunOptions{}),
+               FriedaError);
+  // run() twice.
+  FriedaRun run(cluster, app.catalog(), units, app, CommandTemplate("app $inp1"),
+                RunOptions{});
+  (void)run.run();
+  EXPECT_THROW(run.run(), FriedaError);
+}
+
+TEST(RunEdges, ClusterWithNoVmsRejected) {
+  sim::Simulation sim(95);
+  VirtualCluster cluster(sim);
+  SyntheticModel app(tiny_load());
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  EXPECT_THROW(FriedaRun(cluster, app.catalog(), std::move(units), app,
+                         CommandTemplate("app $inp1"), RunOptions{}),
+               FriedaError);
+}
+
+TEST(RunEdges, LargePrefetchDoesNotBreakAccounting) {
+  sim::Simulation sim(96);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 2;
+  cluster.provision(type, 2);
+  SyntheticModel app(tiny_load(16));
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.prefetch = 100;  // more credits than units
+  FriedaRun run(cluster, app.catalog(), std::move(units), app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+}
+
+TEST(RunEdges, ZeroPrefetchIsStrictRequestReply) {
+  // prefetch=0 reproduces the paper's literal protocol: one assignment at a
+  // time, no pipelining — transfers and compute alternate in lockstep.
+  sim::Simulation sim(97);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 2;
+  cluster.provision(type, 2);
+  auto params = tiny_load(16);
+  params.mean_file_bytes = 12 * MB;  // ~1 s transfer each at shared 12.5 MB/s
+  params.mean_task_seconds = 2.0;
+  SyntheticModel app(params);
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  auto run_with = [&](int prefetch) {
+    sim::Simulation s2(97);
+    VirtualCluster c2(s2);
+    c2.provision(type, 2);
+    RunOptions opt;
+    opt.strategy = PlacementStrategy::kRealTime;
+    opt.prefetch = prefetch;
+    FriedaRun run(c2, app.catalog(), units, app, CommandTemplate("app $inp1"), opt);
+    return run.run();
+  };
+  const auto strict = run_with(0);
+  const auto pipelined = run_with(1);
+  EXPECT_TRUE(strict.all_completed());
+  EXPECT_TRUE(pipelined.all_completed());
+  EXPECT_LT(pipelined.overlap() + 1e-9, strict.makespan());  // sanity
+  EXPECT_LT(pipelined.makespan(), strict.makespan());        // pipelining pays
+}
+
+TEST(RunEdges, BlockAssignmentEndToEnd) {
+  sim::Simulation sim(98);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 1;
+  cluster.provision(type, 2);
+  SyntheticModel app(tiny_load(10));
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kPrePartitionRemote;
+  opt.assignment = AssignmentPolicy::kBlock;
+  FriedaRun run(cluster, app.catalog(), std::move(units), app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  // Block policy: worker 0 ran units 0..4, worker 1 ran 5..9.
+  for (const auto& rec : report.units) {
+    EXPECT_EQ(rec.worker, rec.unit < 5 ? 0u : 1u);
+  }
+}
+
+}  // namespace
+}  // namespace frieda::core

@@ -1,0 +1,322 @@
+// End-to-end integration tests of the FRIEDA engine: controller -> master ->
+// workers over the simulated cluster, across every placement strategy.
+#include "frieda/run.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "frieda/partition.hpp"
+#include "workload/synthetic.hpp"
+
+namespace frieda::core {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::VirtualCluster;
+using workload::SyntheticModel;
+using workload::SyntheticParams;
+
+struct Scenario {
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<VirtualCluster> cluster;
+  std::unique_ptr<SyntheticModel> app;
+  std::vector<WorkUnit> units;
+  std::vector<cluster::VmId> vms;
+};
+
+Scenario make_scenario(SyntheticParams params, std::size_t vm_count, unsigned cores,
+                       double boot_time = 0.0, std::uint64_t seed = 42) {
+  Scenario s;
+  s.sim = std::make_unique<sim::Simulation>(seed);
+  ClusterOptions copts;
+  s.cluster = std::make_unique<VirtualCluster>(*s.sim, copts);
+  auto type = cluster::c1_xlarge();
+  type.cores = cores;
+  type.boot_time = boot_time;
+  s.vms = s.cluster->provision(type, vm_count);
+  s.app = std::make_unique<SyntheticModel>(params);
+  s.units = PartitionGenerator::generate(PartitionScheme::kSingleFile, s.app->catalog());
+  return s;
+}
+
+RunOptions options_for(PlacementStrategy strategy) {
+  RunOptions opt;
+  opt.strategy = strategy;
+  opt.scheme = PartitionScheme::kSingleFile;
+  return opt;
+}
+
+void assert_exactly_once(const RunReport& report) {
+  ASSERT_EQ(report.units.size(), report.units_total);
+  std::size_t completed = 0;
+  for (const auto& rec : report.units) {
+    if (rec.status == UnitStatus::kCompleted) {
+      ++completed;
+      EXPECT_GE(rec.attempts, 1);
+      EXPECT_GT(rec.finished, 0.0);
+    }
+  }
+  EXPECT_EQ(completed, report.units_completed);
+}
+
+class StrategyTest : public ::testing::TestWithParam<PlacementStrategy> {};
+
+TEST_P(StrategyTest, AllUnitsCompleteExactlyOnce) {
+  SyntheticParams params;
+  params.file_count = 40;
+  params.mean_file_bytes = 2 * MB;
+  params.mean_task_seconds = 1.0;
+  auto s = make_scenario(params, 2, 2);
+  auto opt = options_for(GetParam());
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  if (GetParam() == PlacementStrategy::kPrePartitionLocal) {
+    run.pre_place_partitions(s.vms);
+  }
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed()) << report.summary();
+  EXPECT_EQ(report.units_failed, 0u);
+  EXPECT_EQ(report.units_unprocessed, 0u);
+  assert_exactly_once(report);
+  EXPECT_GT(report.makespan(), 0.0);
+  EXPECT_EQ(report.workers.size(), 4u);
+  // Every worker processed something on this homogeneous load.
+  for (const auto& w : report.workers) EXPECT_GT(w.units_completed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         ::testing::Values(PlacementStrategy::kNoPartitionCommon,
+                                           PlacementStrategy::kPrePartitionLocal,
+                                           PlacementStrategy::kPrePartitionRemote,
+                                           PlacementStrategy::kRealTime,
+                                           PlacementStrategy::kRemoteRead));
+
+TEST(RunIntegration, ComputeLowerBoundRespected) {
+  SyntheticParams params;
+  params.file_count = 32;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 2.0;
+  auto s = make_scenario(params, 2, 2);  // 4 cores
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kRealTime));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  // 32 units x 2 s on 4 cores >= 16 s of wall time.
+  EXPECT_GE(report.makespan(), 16.0);
+  EXPECT_LT(report.makespan(), 24.0);  // and not wildly more
+}
+
+TEST(RunIntegration, PrePartitionPhasesAreSequential) {
+  SyntheticParams params;
+  params.file_count = 16;
+  params.mean_file_bytes = 25 * MB;  // 400 MB total over 12.5 MB/s = 32 s
+  params.mean_task_seconds = 1.0;
+  auto s = make_scenario(params, 2, 2);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kPrePartitionRemote));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_NEAR(report.staging_seconds(), 32.0, 2.0);
+  // No compute may start before staging ends.
+  EXPECT_GE(report.timeline.first_start(ActivityKind::kCompute), report.staging_end - 1e-9);
+  // Transfer and compute phases must not overlap.
+  EXPECT_NEAR(report.overlap(), 0.0, 1e-6);
+  // Makespan ~ staging + compute (16 units x 1 s / 4 cores = 4 s).
+  EXPECT_NEAR(report.makespan(), 36.0, 2.0);
+}
+
+TEST(RunIntegration, RealTimeOverlapsTransferAndCompute) {
+  SyntheticParams params;
+  params.file_count = 16;
+  params.mean_file_bytes = 25 * MB;
+  params.mean_task_seconds = 8.0;  // enough compute to overlap
+  auto s = make_scenario(params, 2, 2);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kRealTime));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_GT(report.overlap(), 5.0);  // genuine pipelining
+  EXPECT_DOUBLE_EQ(report.staging_seconds(), 0.0);
+}
+
+TEST(RunIntegration, RealTimeBeatsPrePartitionOnTransferBoundLoad) {
+  SyntheticParams params;
+  params.file_count = 24;
+  params.mean_file_bytes = 20 * MB;
+  params.mean_task_seconds = 4.0;
+  auto run_with = [&](PlacementStrategy strategy) {
+    auto s = make_scenario(params, 2, 2);
+    FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                  options_for(strategy));
+    return run.run();
+  };
+  const auto pre = run_with(PlacementStrategy::kPrePartitionRemote);
+  const auto rt = run_with(PlacementStrategy::kRealTime);
+  EXPECT_TRUE(pre.all_completed());
+  EXPECT_TRUE(rt.all_completed());
+  EXPECT_LT(rt.makespan(), pre.makespan());
+}
+
+TEST(RunIntegration, LocalDataFastestOnTransferBoundLoad) {
+  SyntheticParams params;
+  params.file_count = 24;
+  params.mean_file_bytes = 20 * MB;
+  params.mean_task_seconds = 1.0;
+  auto run_with = [&](PlacementStrategy strategy) {
+    auto s = make_scenario(params, 2, 2);
+    FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                  options_for(strategy));
+    if (strategy == PlacementStrategy::kPrePartitionLocal) run.pre_place_partitions(s.vms);
+    return run.run();
+  };
+  const auto local = run_with(PlacementStrategy::kPrePartitionLocal);
+  const auto rt = run_with(PlacementStrategy::kRealTime);
+  const auto pre = run_with(PlacementStrategy::kPrePartitionRemote);
+  EXPECT_LT(local.makespan(), rt.makespan());
+  EXPECT_LT(rt.makespan(), pre.makespan());
+  EXPECT_EQ(local.bytes_moved, 0u);  // nothing crossed the network
+}
+
+TEST(RunIntegration, RealTimeLoadBalancesSkewedCosts) {
+  SyntheticParams params;
+  params.file_count = 64;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 4.0;
+  params.task_cv = 1.2;  // heavy skew
+  auto run_with = [&](PlacementStrategy strategy) {
+    auto s = make_scenario(params, 2, 2);
+    FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                  options_for(strategy));
+    return run.run();
+  };
+  const auto pre = run_with(PlacementStrategy::kPrePartitionRemote);
+  const auto rt = run_with(PlacementStrategy::kRealTime);
+  EXPECT_TRUE(pre.all_completed());
+  EXPECT_TRUE(rt.all_completed());
+  // Inherent load balancing (paper Section III.A, real-time partitioning).
+  EXPECT_LT(rt.makespan(), pre.makespan());
+}
+
+TEST(RunIntegration, MulticoreOffUsesOneWorkerPerVm) {
+  SyntheticParams params;
+  params.file_count = 8;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 1.0;
+  auto s = make_scenario(params, 2, 4);
+  auto opt = options_for(PlacementStrategy::kRealTime);
+  opt.multicore = false;
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.workers.size(), 2u);  // one per VM despite 4 cores
+  // 8 units x 1 s on 2 workers ~ 4 s.
+  EXPECT_GE(report.makespan(), 4.0);
+}
+
+TEST(RunIntegration, SequentialBaselineOneVmOneWorker) {
+  SyntheticParams params;
+  params.file_count = 10;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 3.0;
+  auto s = make_scenario(params, 1, 1);
+  auto opt = options_for(PlacementStrategy::kPrePartitionLocal);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  run.pre_place_all_inputs(s.vms);
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_NEAR(report.makespan(), 30.0, 1.0);  // pure serial compute
+}
+
+TEST(RunIntegration, ReportBytesMovedMatchesData) {
+  SyntheticParams params;
+  params.file_count = 10;
+  params.mean_file_bytes = 5 * MB;
+  params.mean_task_seconds = 0.5;
+  auto s = make_scenario(params, 2, 1);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kRealTime));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  // Every input crosses the network exactly once (units are disjoint).
+  EXPECT_EQ(report.bytes_moved, s.app->catalog().total_bytes());
+}
+
+TEST(RunIntegration, NoPartitionCommonReplicatesEverything) {
+  SyntheticParams params;
+  params.file_count = 6;
+  params.mean_file_bytes = 4 * MB;
+  params.mean_task_seconds = 0.5;
+  auto s = make_scenario(params, 3, 1);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kNoPartitionCommon));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  // Full data set to all 3 nodes.
+  EXPECT_EQ(report.bytes_moved, 3 * s.app->catalog().total_bytes());
+}
+
+TEST(RunIntegration, CommonDataStagedToEveryNode) {
+  SyntheticParams params;
+  params.file_count = 8;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 0.5;
+  params.common_data_bytes = 50 * MB;  // a BLAST-ish database
+  auto s = make_scenario(params, 2, 1);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kRealTime));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_GE(report.bytes_moved, 2 * params.common_data_bytes);
+}
+
+TEST(RunIntegration, DeterministicAcrossIdenticalRuns) {
+  SyntheticParams params;
+  params.file_count = 30;
+  params.mean_file_bytes = 3 * MB;
+  params.mean_task_seconds = 1.0;
+  params.task_cv = 0.7;
+  auto run_once = [&] {
+    auto s = make_scenario(params, 2, 2, 0.0, 99);
+    FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                  options_for(PlacementStrategy::kRealTime));
+    return run.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  ASSERT_EQ(a.units.size(), b.units.size());
+  for (std::size_t i = 0; i < a.units.size(); ++i) {
+    EXPECT_EQ(a.units[i].worker, b.units[i].worker);
+    EXPECT_DOUBLE_EQ(a.units[i].finished, b.units[i].finished);
+  }
+}
+
+TEST(RunIntegration, PrePartitionLocalWithoutSeedingThrows) {
+  SyntheticParams params;
+  params.file_count = 4;
+  auto s = make_scenario(params, 1, 1);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kPrePartitionLocal));
+  EXPECT_THROW(run.run(), FriedaError);
+}
+
+TEST(RunIntegration, BootTimeDelaysReadyNotMakespan) {
+  SyntheticParams params;
+  params.file_count = 4;
+  params.mean_file_bytes = KB;
+  params.mean_task_seconds = 1.0;
+  auto s = make_scenario(params, 2, 1, /*boot_time=*/25.0);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                options_for(PlacementStrategy::kRealTime));
+  const auto report = run.run();
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_NEAR(report.ready_time, 25.0, 1.0);
+  EXPECT_LT(report.makespan(), 10.0);  // boot excluded from app makespan
+}
+
+}  // namespace
+}  // namespace frieda::core

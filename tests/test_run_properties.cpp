@@ -1,0 +1,186 @@
+// Property-style sweeps over the FRIEDA engine: for every combination of
+// placement strategy, cluster shape, and workload skew, the run must satisfy
+// the framework's invariants regardless of the emergent schedule.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "workload/synthetic.hpp"
+
+namespace frieda::core {
+namespace {
+
+using cluster::VirtualCluster;
+using workload::SyntheticModel;
+using workload::SyntheticParams;
+
+using Param = std::tuple<PlacementStrategy, std::size_t /*vms*/, unsigned /*cores*/,
+                         double /*task cv*/, PartitionScheme>;
+
+class RunPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RunPropertyTest, InvariantsHold) {
+  const auto [strategy, vm_count, cores, cv, scheme] = GetParam();
+
+  sim::Simulation sim(1000 + vm_count * 10 + cores);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 1.0;
+  type.cores = cores;
+  cluster.provision(type, vm_count);
+
+  SyntheticParams params;
+  params.file_count = 36;
+  params.mean_file_bytes = 3 * MB;
+  params.file_size_cv = 0.3;
+  params.mean_task_seconds = 1.5;
+  params.task_cv = cv;
+  params.common_data_bytes = 8 * MB;
+  params.output_bytes = 10 * KB;
+  SyntheticModel app(params);
+
+  auto units = PartitionGenerator::generate(scheme, app.catalog());
+  const std::size_t expected_units = units.size();
+  const auto arity = units.front().inputs.size();
+  const CommandTemplate command(arity == 1 ? "app $inp1" : "app $inp1 $inp2");
+
+  RunOptions opt;
+  opt.strategy = strategy;
+  opt.scheme = scheme;
+  FriedaRun run(cluster, app.catalog(), std::move(units), app, command, opt);
+  if (strategy == PlacementStrategy::kPrePartitionLocal) {
+    run.pre_place_partitions(cluster.all_vms());
+  }
+  const auto report = run.run();
+
+  // Invariant 1: everything completes on a healthy cluster.
+  EXPECT_TRUE(report.all_completed()) << report.summary();
+  EXPECT_EQ(report.units_total, expected_units);
+
+  // Invariant 2: exactly-once execution, coherent per-unit records.
+  std::set<WorkUnitId> seen;
+  for (const auto& rec : report.units) {
+    EXPECT_TRUE(seen.insert(rec.unit).second);
+    EXPECT_EQ(rec.status, UnitStatus::kCompleted);
+    EXPECT_EQ(rec.attempts, 1);
+    EXPECT_GE(rec.exec_seconds, 0.0);
+    EXPECT_GE(rec.finished, rec.dispatched);
+    EXPECT_LE(rec.finished, report.end_time + 1e-9);
+  }
+
+  // Invariant 3: makespan respects the aggregate-compute lower bound.
+  double total_compute = 0.0;
+  for (const auto& rec : report.units) total_compute += rec.exec_seconds;
+  const double cores_total = static_cast<double>(vm_count * cores);
+  EXPECT_GE(report.makespan() + 1e-6, total_compute / cores_total);
+
+  // Invariant 4: worker accounting sums to the unit count.
+  std::size_t worker_sum = 0;
+  for (const auto& w : report.workers) worker_sum += w.units_completed;
+  EXPECT_EQ(worker_sum, report.units_completed);
+
+  // Invariant 5: no disk over-commit on any VM.
+  for (const auto vm : cluster.all_vms()) {
+    EXPECT_LE(cluster.vm(vm).disk().used(), cluster.vm(vm).disk().capacity());
+  }
+
+  // Invariant 6: phases are sequential for pre-partitioning (paper II.C),
+  // and staging is instantaneous for the lazy strategies.
+  if (strategy == PlacementStrategy::kPrePartitionRemote ||
+      strategy == PlacementStrategy::kNoPartitionCommon) {
+    EXPECT_GE(report.timeline.first_start(ActivityKind::kCompute),
+              report.staging_end - 1e-9);
+  }
+  if (strategy == PlacementStrategy::kRealTime ||
+      strategy == PlacementStrategy::kRemoteRead) {
+    EXPECT_LT(report.staging_seconds(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RunPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(PlacementStrategy::kNoPartitionCommon,
+                          PlacementStrategy::kPrePartitionLocal,
+                          PlacementStrategy::kPrePartitionRemote,
+                          PlacementStrategy::kRealTime, PlacementStrategy::kRemoteRead),
+        ::testing::Values<std::size_t>(1, 3),
+        ::testing::Values<unsigned>(1, 4),
+        ::testing::Values(0.0, 1.0),
+        ::testing::Values(PartitionScheme::kSingleFile,
+                          PartitionScheme::kPairwiseAdjacent)));
+
+// Determinism across the whole parameter space: same seed, same everything.
+class DeterminismTest : public ::testing::TestWithParam<PlacementStrategy> {};
+
+TEST_P(DeterminismTest, IdenticalTimelinesForIdenticalSeeds) {
+  auto run_once = [&] {
+    sim::Simulation sim(77);
+    VirtualCluster cluster(sim);
+    auto type = cluster::c1_xlarge();
+    type.boot_time = 0.0;
+    type.cores = 2;
+    cluster.provision(type, 2);
+    SyntheticParams params;
+    params.file_count = 24;
+    params.mean_file_bytes = 2 * MB;
+    params.mean_task_seconds = 1.0;
+    params.task_cv = 0.8;
+    SyntheticModel app(params);
+    auto units =
+        PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+    RunOptions opt;
+    opt.strategy = GetParam();
+    FriedaRun run(cluster, app.catalog(), std::move(units), app,
+                  CommandTemplate("app $inp1"), opt);
+    if (GetParam() == PlacementStrategy::kPrePartitionLocal) {
+      run.pre_place_partitions(cluster.all_vms());
+    }
+    return run.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan(), b.makespan());
+  EXPECT_EQ(a.units_csv(), b.units_csv());
+  EXPECT_EQ(a.workers_csv(), b.workers_csv());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, DeterminismTest,
+                         ::testing::Values(PlacementStrategy::kNoPartitionCommon,
+                                           PlacementStrategy::kPrePartitionLocal,
+                                           PlacementStrategy::kPrePartitionRemote,
+                                           PlacementStrategy::kRealTime,
+                                           PlacementStrategy::kRemoteRead));
+
+TEST(ReportCsv, WellFormed) {
+  sim::Simulation sim(3);
+  VirtualCluster cluster(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  cluster.provision(type, 1);
+  SyntheticParams params;
+  params.file_count = 4;
+  params.mean_task_seconds = 1.0;
+  SyntheticModel app(params);
+  auto units = PartitionGenerator::generate(PartitionScheme::kSingleFile, app.catalog());
+  RunOptions opt;
+  FriedaRun run(cluster, app.catalog(), std::move(units), app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+  const auto ucsv = report.units_csv();
+  const auto wcsv = report.workers_csv();
+  // Header + one line per unit/worker.
+  EXPECT_EQ(std::count(ucsv.begin(), ucsv.end(), '\n'), 1 + 4);
+  EXPECT_EQ(std::count(wcsv.begin(), wcsv.end(), '\n'),
+            1 + static_cast<long>(report.workers.size()));
+  EXPECT_NE(ucsv.find("unit,status,worker"), std::string::npos);
+  EXPECT_NE(wcsv.find("worker,vm,slot"), std::string::npos);
+  EXPECT_NE(ucsv.find("completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frieda::core

@@ -1,0 +1,158 @@
+// Tests of the declarative scenario runner.
+#include "workload/scenario_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace frieda::workload {
+namespace {
+
+TEST(ScenarioConfig, MinimalSyntheticRun) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 2
+    [workload]
+    kind = synthetic
+    files = 20
+    file_mb = 1
+    task_s = 1
+    [run]
+    strategy = real-time
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.units_total, 20u);
+  EXPECT_EQ(report.workers.size(), 4u);
+  EXPECT_EQ(report.strategy, "real-time");
+}
+
+TEST(ScenarioConfig, DefaultsGiveFullRun) {
+  const auto report = run_scenario_text("[workload]\nfiles = 8\ntask_s = 0.5\n");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.workers.size(), 16u);  // 4 VMs x 4 cores defaults
+}
+
+TEST(ScenarioConfig, StrategyAndSchemeSelection) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 1
+    [workload]
+    files = 12
+    file_mb = 1
+    task_s = 0.2
+    [run]
+    strategy = pre-partition-local
+    scheme = pairwise-adjacent
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.units_total, 6u);
+  EXPECT_EQ(report.scheme, "pairwise-adjacent");
+  EXPECT_EQ(report.bytes_moved, 0u);  // local data, nothing crossed the wire
+}
+
+TEST(ScenarioConfig, AlsAndBlastKinds) {
+  const auto als = run_scenario_text(R"(
+    [workload]
+    kind = als
+    scale = 0.02
+  )");
+  EXPECT_TRUE(als.all_completed());
+  EXPECT_EQ(als.app, "als-image-compare");
+  EXPECT_EQ(als.scheme, "pairwise-adjacent");  // workload-appropriate default
+
+  const auto blast = run_scenario_text(R"(
+    [workload]
+    kind = blast
+    scale = 0.01
+  )");
+  EXPECT_TRUE(blast.all_completed());
+  EXPECT_EQ(blast.app, "blast");
+  EXPECT_EQ(blast.units_total, 75u);
+}
+
+TEST(ScenarioConfig, FailureEventsApply) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 2
+    [workload]
+    files = 40
+    file_mb = 1
+    task_s = 2
+    [run]
+    strategy = real-time
+    requeue = true
+    [events]
+    fail = 1@5
+  )");
+  EXPECT_TRUE(report.all_completed());  // requeue recovers the lost units
+  EXPECT_EQ(report.workers_isolated, 2u);
+}
+
+TEST(ScenarioConfig, ElasticAndMasterCrashEvents) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 1
+    cores = 2
+    [workload]
+    files = 40
+    file_mb = 1
+    task_s = 2
+    [run]
+    strategy = real-time
+    [events]
+    add_vms_at = 10
+    add_vms = 1
+    master_crash_at = 15
+    master_recovery_s = 5
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.workers.size(), 4u);  // 2 original + 2 elastic
+}
+
+TEST(ScenarioConfig, BadValuesThrow) {
+  EXPECT_THROW(run_scenario_text("[workload]\nkind = hadoop\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text("[run]\nstrategy = teleport\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text("[run]\nscheme = zigzag\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text("[events]\nfail = banana\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text("[events]\nfail = 99@10\n"), FriedaError);
+}
+
+TEST(ScenarioConfig, SharedVolumeStrategyProvisionsStorage) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 1
+    [workload]
+    files = 10
+    file_mb = 2
+    task_s = 0.5
+    [run]
+    strategy = shared-volume
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.strategy, "shared-volume");
+}
+
+TEST(ScenarioConfig, StreamsAndLocalityKnobs) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 1
+    [workload]
+    files = 10
+    file_mb = 4
+    task_s = 0.5
+    [run]
+    strategy = real-time
+    streams = 4
+    locality_aware = true
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_EQ(report.bytes_moved, 10u * 4 * 1000 * 1000);
+}
+
+}  // namespace
+}  // namespace frieda::workload

@@ -1,0 +1,188 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace frieda::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.schedule_at(2.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_at(1.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulation, ScheduleInIsRelative) {
+  Simulation sim;
+  double observed = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_in(2.5, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 7.5);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double observed = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { observed = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 10.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  const bool more = sim.run_until(2.0);
+  EXPECT_TRUE(more);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+Task<> count_down(Simulation& sim, int n, std::vector<double>& ticks) {
+  for (int i = 0; i < n; ++i) {
+    co_await sim.delay(1.0);
+    ticks.push_back(sim.now());
+  }
+}
+
+TEST(Simulation, SpawnedProcessDelays) {
+  Simulation sim;
+  std::vector<double> ticks;
+  sim.spawn(count_down(sim, 3, ticks), "counter");
+  EXPECT_EQ(sim.live_processes(), 1u);
+  sim.run();
+  EXPECT_EQ(ticks, (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(sim.live_processes(), 0u);  // root reclaimed
+}
+
+TEST(Simulation, ProcessesInterleaveDeterministically) {
+  Simulation sim;
+  std::vector<std::pair<int, double>> log;
+  auto proc = [&](int id, double period) -> Task<> {
+    for (int i = 0; i < 3; ++i) {
+      co_await sim.delay(period);
+      log.emplace_back(id, sim.now());
+    }
+  };
+  sim.spawn(proc(1, 1.0));
+  sim.spawn(proc(2, 1.5));
+  sim.run();
+  // At t=3.0 both wake; process 2 scheduled its wake-up earlier (at t=1.5,
+  // vs. t=2.0 for process 1), so FIFO order puts it first.
+  const std::vector<std::pair<int, double>> expected{
+      {1, 1.0}, {2, 1.5}, {1, 2.0}, {2, 3.0}, {1, 3.0}, {2, 4.5}};
+  EXPECT_EQ(log, expected);
+}
+
+Task<int> triple(Simulation& sim, int x) {
+  co_await sim.delay(1.0);
+  co_return 3 * x;
+}
+
+Task<> parent(Simulation& sim, int& out) {
+  out = co_await triple(sim, 7);
+}
+
+TEST(Simulation, NestedTaskReturnsValue) {
+  Simulation sim;
+  int out = 0;
+  sim.spawn(parent(sim, out));
+  sim.run();
+  EXPECT_EQ(out, 21);
+}
+
+Task<> thrower(Simulation& sim) {
+  co_await sim.delay(1.0);
+  throw std::runtime_error("boom");
+}
+
+TEST(Simulation, RootExceptionPropagatesFromRun) {
+  Simulation sim;
+  sim.spawn(thrower(sim));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+Task<> catcher(Simulation& sim, bool& caught) {
+  try {
+    co_await thrower(sim);
+  } catch (const std::runtime_error&) {
+    caught = true;
+  }
+}
+
+TEST(Simulation, ChildExceptionCatchableInParent) {
+  Simulation sim;
+  bool caught = false;
+  sim.spawn(catcher(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Simulation, DeterministicEventCountAcrossRuns) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<double> ticks;
+    sim.spawn(count_down(sim, 10, ticks));
+    sim.spawn(count_down(sim, 5, ticks));
+    sim.run();
+    return std::make_pair(sim.events_processed(), ticks);
+  };
+  const auto a = run_once(1);
+  const auto b = run_once(1);
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Simulation, SpawnEmptyTaskThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.spawn(Task<>{}), FriedaError);
+}
+
+TEST(Simulation, DelayZeroYields) {
+  Simulation sim;
+  std::vector<int> order;
+  auto yielder = [&](int id) -> Task<> {
+    order.push_back(id * 10);
+    co_await sim.delay(0.0);
+    order.push_back(id * 10 + 1);
+  };
+  sim.spawn(yielder(1));
+  sim.spawn(yielder(2));
+  sim.run();
+  // Both prologues run before either epilogue: delay(0) really yields.
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 21}));
+}
+
+}  // namespace
+}  // namespace frieda::sim

@@ -1,0 +1,75 @@
+#include "common/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frieda::strutil {
+namespace {
+
+TEST(StrUtil, Trim) {
+  EXPECT_EQ(trim("  a b  "), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StrUtil, StripComment) {
+  EXPECT_EQ(strip_comment("key = v # note", '#'), "key = v ");
+  EXPECT_EQ(strip_comment("no comment", '#'), "no comment");
+  EXPECT_EQ(strip_comment("# all", '#'), "");
+}
+
+TEST(StrUtil, SplitJoin) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join(parts, ","), "a,b,,c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StrUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("frieda.master", "frieda."));
+  EXPECT_FALSE(starts_with("fr", "frieda"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(StrUtil, ToInt) {
+  EXPECT_EQ(to_int("42").value(), 42);
+  EXPECT_EQ(to_int(" -7 ").value(), -7);
+  EXPECT_FALSE(to_int("12x").has_value());
+  EXPECT_FALSE(to_int("").has_value());
+  EXPECT_FALSE(to_int("4.2").has_value());
+}
+
+TEST(StrUtil, ToDouble) {
+  EXPECT_DOUBLE_EQ(to_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(to_double("1e3").value(), 1000.0);
+  EXPECT_FALSE(to_double("abc").has_value());
+  EXPECT_FALSE(to_double("1.0garbage").has_value());
+}
+
+TEST(StrUtil, ToBool) {
+  EXPECT_TRUE(to_bool("true").value());
+  EXPECT_TRUE(to_bool("YES").value());
+  EXPECT_TRUE(to_bool("on").value());
+  EXPECT_TRUE(to_bool("1").value());
+  EXPECT_FALSE(to_bool("false").value());
+  EXPECT_FALSE(to_bool("off").value());
+  EXPECT_FALSE(to_bool("maybe").has_value());
+}
+
+TEST(StrUtil, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(human_bytes(7 * 1024 * 1024), "7.00 MiB");
+}
+
+TEST(StrUtil, HumanSeconds) {
+  EXPECT_EQ(human_seconds(5.0), "5.00 s");
+  EXPECT_EQ(human_seconds(600.0), "10.0 min");
+  EXPECT_EQ(human_seconds(7200.0), "2.00 h");
+}
+
+}  // namespace
+}  // namespace frieda::strutil

@@ -1,0 +1,69 @@
+#include "common/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace frieda {
+namespace {
+
+TEST(Timeline, BusyTimeUnionsOverlaps) {
+  Timeline tl;
+  tl.record(ActivityKind::kTransfer, 0.0, 10.0);
+  tl.record(ActivityKind::kTransfer, 5.0, 15.0);   // overlaps
+  tl.record(ActivityKind::kTransfer, 20.0, 25.0);  // disjoint
+  EXPECT_DOUBLE_EQ(tl.busy_time(ActivityKind::kTransfer), 20.0);
+  EXPECT_DOUBLE_EQ(tl.busy_time(ActivityKind::kCompute), 0.0);
+}
+
+TEST(Timeline, OverlapBetweenKinds) {
+  Timeline tl;
+  tl.record(ActivityKind::kTransfer, 0.0, 10.0);
+  tl.record(ActivityKind::kCompute, 5.0, 20.0);
+  EXPECT_DOUBLE_EQ(tl.overlap_time(ActivityKind::kTransfer, ActivityKind::kCompute), 5.0);
+}
+
+TEST(Timeline, NoOverlapWhenSequential) {
+  Timeline tl;
+  tl.record(ActivityKind::kTransfer, 0.0, 10.0);
+  tl.record(ActivityKind::kCompute, 10.0, 20.0);
+  EXPECT_DOUBLE_EQ(tl.overlap_time(ActivityKind::kTransfer, ActivityKind::kCompute), 0.0);
+}
+
+TEST(Timeline, FirstStartLastEnd) {
+  Timeline tl;
+  tl.record(ActivityKind::kCompute, 3.0, 5.0);
+  tl.record(ActivityKind::kCompute, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(tl.first_start(ActivityKind::kCompute), 1.0);
+  EXPECT_DOUBLE_EQ(tl.last_end(ActivityKind::kCompute), 5.0);
+  EXPECT_DOUBLE_EQ(tl.first_start(ActivityKind::kTransfer), 0.0);
+  EXPECT_DOUBLE_EQ(tl.last_end(ActivityKind::kTransfer), 0.0);
+}
+
+TEST(Timeline, CountAndLabels) {
+  Timeline tl;
+  tl.record(ActivityKind::kTransfer, 0.0, 1.0, "common-data");
+  tl.record(ActivityKind::kStage, 0.0, 2.0, "staging");
+  EXPECT_EQ(tl.count(ActivityKind::kTransfer), 1u);
+  EXPECT_EQ(tl.count(ActivityKind::kStage), 1u);
+  EXPECT_EQ(tl.intervals().size(), 2u);
+  EXPECT_EQ(tl.intervals()[0].label, "common-data");
+}
+
+TEST(Timeline, BackwardsIntervalThrows) {
+  Timeline tl;
+  EXPECT_THROW(tl.record(ActivityKind::kCompute, 5.0, 4.0), FriedaError);
+  tl.record(ActivityKind::kCompute, 5.0, 5.0);  // zero-length is fine
+  EXPECT_DOUBLE_EQ(tl.busy_time(ActivityKind::kCompute), 0.0);
+}
+
+TEST(Timeline, ManyIntervalsUnion) {
+  Timeline tl;
+  for (int i = 0; i < 100; ++i) {
+    tl.record(ActivityKind::kCompute, i * 1.0, i * 1.0 + 0.5);
+  }
+  EXPECT_DOUBLE_EQ(tl.busy_time(ActivityKind::kCompute), 50.0);
+}
+
+}  // namespace
+}  // namespace frieda

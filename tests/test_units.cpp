@@ -1,0 +1,41 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace frieda {
+namespace {
+
+TEST(Units, ByteConstants) {
+  EXPECT_EQ(KB, 1000u);
+  EXPECT_EQ(MB, 1000u * 1000u);
+  EXPECT_EQ(GB, 1000u * 1000u * 1000u);
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024ull * 1024u * 1024u);
+}
+
+TEST(Units, MbpsToBytesPerSecond) {
+  // The paper's 100 Mbps provisioned link is 12.5 MB/s.
+  EXPECT_DOUBLE_EQ(mbps(100.0), 12.5e6);
+  EXPECT_DOUBLE_EQ(mbps(8.0), 1e6);
+}
+
+TEST(Units, GbpsAndMBps) {
+  EXPECT_DOUBLE_EQ(gbps(1.0), 125e6);
+  EXPECT_DOUBLE_EQ(mBps(12.5), 12.5e6);
+  EXPECT_DOUBLE_EQ(gbps(1.0), mbps(1000.0));
+}
+
+TEST(Units, TransferSeconds) {
+  // 8.75 GB over 100 Mbps = 700 s — the ALS staging time from Section IV.
+  EXPECT_NEAR(transfer_seconds(8750 * MB, mbps(100)), 700.0, 1e-9);
+  EXPECT_DOUBLE_EQ(transfer_seconds(0, mbps(100)), 0.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+}
+
+}  // namespace
+}  // namespace frieda

@@ -1,0 +1,167 @@
+// Workflow driver tests (paper Section VI: a higher-level engine chaining
+// FRIEDA stages).
+#include "frieda/workflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace frieda::core {
+namespace {
+
+storage::FileCatalog make_inputs(std::size_t n, Bytes size) {
+  storage::FileCatalog cat;
+  for (std::size_t i = 0; i < n; ++i) {
+    cat.add_file("raw_" + std::to_string(i) + ".dat", size);
+  }
+  return cat;
+}
+
+std::unique_ptr<cluster::VirtualCluster> make_cluster(sim::Simulation& sim,
+                                                      std::size_t vms = 2) {
+  auto cluster = std::make_unique<cluster::VirtualCluster>(sim);
+  auto type = cluster::c1_xlarge();
+  type.boot_time = 0.0;
+  type.cores = 2;
+  cluster->provision(type, vms);
+  return cluster;
+}
+
+WorkflowStage preprocess_stage() {
+  WorkflowStage stage;
+  stage.name = "preprocess";
+  stage.scheme = PartitionScheme::kSingleFile;
+  stage.command = "denoise $inp1";
+  stage.options.strategy = PlacementStrategy::kRealTime;
+  stage.task_seconds = [](const WorkUnit&, const storage::FileCatalog&) { return 1.0; };
+  stage.output_bytes = [](const WorkUnit& u, const storage::FileCatalog& cat) {
+    return u.input_bytes(cat) / 2;  // denoised images are half the size
+  };
+  return stage;
+}
+
+WorkflowStage compare_stage() {
+  WorkflowStage stage;
+  stage.name = "compare";
+  stage.scheme = PartitionScheme::kPairwiseAdjacent;
+  stage.command = "compare $inp1 $inp2";
+  stage.options.strategy = PlacementStrategy::kRealTime;
+  stage.options.locality_aware = true;  // run where stage 1 left the data
+  stage.task_seconds = [](const WorkUnit& u, const storage::FileCatalog& cat) {
+    return static_cast<double>(u.input_bytes(cat)) / 1e7;
+  };
+  stage.output_bytes = [](const WorkUnit&, const storage::FileCatalog&) {
+    return Bytes{10 * KB};
+  };
+  return stage;
+}
+
+TEST(Workflow, TwoStagePipelineCompletes) {
+  sim::Simulation sim(61);
+  auto cluster = make_cluster(sim);
+  Workflow wf(*cluster);
+  wf.add_stage(preprocess_stage());
+  wf.add_stage(compare_stage());
+  EXPECT_EQ(wf.stage_count(), 2u);
+
+  const auto inputs = make_inputs(16, 4 * MB);
+  const auto result = wf.execute(inputs);
+
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_TRUE(result.all_completed());
+  EXPECT_EQ(result.stages[0].units_total, 16u);
+  EXPECT_EQ(result.stages[1].units_total, 8u);  // pairwise over 16 outputs
+  EXPECT_EQ(result.final_outputs.count(), 8u);
+  EXPECT_EQ(result.final_outputs.info(0).size, 10 * KB);
+  EXPECT_GT(result.total_makespan, 0.0);
+  EXPECT_NEAR(result.total_makespan,
+              result.stages[0].makespan() + result.stages[1].makespan(), 1e-9);
+}
+
+TEST(Workflow, IntermediateDataStaysOnWorkers) {
+  // Stage 2 pulls its inputs from VM disks, not the source: the source node
+  // sends the raw inputs exactly once (stage 1).
+  sim::Simulation sim(62);
+  auto cluster = make_cluster(sim);
+  Workflow wf(*cluster);
+  wf.add_stage(preprocess_stage());
+  wf.add_stage(compare_stage());
+
+  const auto inputs = make_inputs(16, 4 * MB);
+  const auto result = wf.execute(inputs);
+  ASSERT_TRUE(result.all_completed());
+
+  const auto source_sent =
+      cluster->network().traffic(cluster->source_node()).bytes_sent;
+  EXPECT_EQ(source_sent, inputs.total_bytes());  // stage 2 never touched it
+}
+
+TEST(Workflow, LocalityAwareSecondStageMovesLessData) {
+  auto run_wf = [&](bool locality) {
+    sim::Simulation sim(63);
+    auto cluster = make_cluster(sim);
+    Workflow wf(*cluster);
+    wf.add_stage(preprocess_stage());
+    auto second = compare_stage();
+    second.options.locality_aware = locality;
+    wf.add_stage(second);
+    const auto result = wf.execute(make_inputs(32, 4 * MB));
+    EXPECT_TRUE(result.all_completed());
+    return result.stages[1].bytes_moved;
+  };
+  const auto blind = run_wf(false);
+  const auto aware = run_wf(true);
+  EXPECT_LE(aware, blind);
+}
+
+TEST(Workflow, FailedUnitsProduceNoOutputs) {
+  sim::Simulation sim(64);
+  auto cluster = make_cluster(sim);
+  // Crash a VM mid-stage-1 without requeue: some stage-1 units never run.
+  cluster::FailureInjector injector(*cluster);
+  injector.schedule(1, 4.0);
+
+  Workflow wf(*cluster);
+  auto first = preprocess_stage();
+  first.task_seconds = [](const WorkUnit&, const storage::FileCatalog&) { return 2.0; };
+  wf.add_stage(first);
+  auto second = compare_stage();
+  wf.add_stage(second);
+
+  const auto result = wf.execute(make_inputs(24, 2 * MB));
+  ASSERT_EQ(result.stages.size(), 2u);
+  EXPECT_FALSE(result.stages[0].all_completed());
+  // Stage 2 ran over only the surviving outputs.
+  EXPECT_EQ(result.stages[1].units_total, result.stages[0].units_completed / 2);
+  EXPECT_FALSE(result.all_completed());
+}
+
+TEST(Workflow, ValidationErrors) {
+  sim::Simulation sim(65);
+  auto cluster = make_cluster(sim);
+  Workflow wf(*cluster);
+  EXPECT_THROW(wf.execute(make_inputs(4, MB)), FriedaError);  // no stages
+
+  WorkflowStage nameless;
+  nameless.task_seconds = [](const WorkUnit&, const storage::FileCatalog&) { return 1.0; };
+  EXPECT_THROW(wf.add_stage(nameless), FriedaError);
+
+  WorkflowStage costless;
+  costless.name = "x";
+  EXPECT_THROW(wf.add_stage(costless), FriedaError);
+}
+
+TEST(Workflow, TerminalStageWithoutOutputsYieldsEmptyCatalog) {
+  sim::Simulation sim(66);
+  auto cluster = make_cluster(sim);
+  Workflow wf(*cluster);
+  auto only = preprocess_stage();
+  only.output_bytes = nullptr;  // terminal stage: results are reports only
+  wf.add_stage(only);
+  const auto result = wf.execute(make_inputs(8, MB));
+  EXPECT_TRUE(result.all_completed());
+  EXPECT_EQ(result.final_outputs.count(), 0u);
+}
+
+}  // namespace
+}  // namespace frieda::core

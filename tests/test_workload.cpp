@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "frieda/partition.hpp"
+#include "workload/blast.hpp"
+#include "workload/calibration.hpp"
+#include "workload/image_compare.hpp"
+#include "workload/synthetic.hpp"
+
+namespace frieda::workload {
+namespace {
+
+TEST(ImageModel, PaperCatalogShape) {
+  ImageCompareModel model(ImageCompareParams::paper());
+  EXPECT_EQ(model.catalog().count(), calib::kAlsImageCount);
+  // Mean size close to 7 MB.
+  const double mean =
+      static_cast<double>(model.catalog().total_bytes()) / model.catalog().count();
+  EXPECT_NEAR(mean, static_cast<double>(calib::kAlsMeanImageBytes), 0.4 * MB);
+  EXPECT_EQ(model.common_data_bytes(), 0u);
+}
+
+TEST(ImageModel, SequentialSumMatchesTableOne) {
+  // Sum of pairwise-adjacent task costs must land near the paper's 1258.8 s
+  // sequential measurement — that is the calibration invariant.
+  ImageCompareModel model(ImageCompareParams::paper());
+  const auto units = core::PartitionGenerator::generate(
+      core::PartitionScheme::kPairwiseAdjacent, model.catalog());
+  EXPECT_EQ(units.size(), 625u);
+  double total = 0.0;
+  for (const auto& u : units) total += model.task_seconds(u);
+  EXPECT_NEAR(total, calib::paper::kAlsSequential, 0.06 * calib::paper::kAlsSequential);
+}
+
+TEST(ImageModel, CostProportionalToBytes) {
+  ImageCompareParams p = ImageCompareParams::paper();
+  p.size_cv = 0.0;  // uniform sizes
+  ImageCompareModel model(p);
+  core::WorkUnit one;
+  one.inputs = {0};
+  core::WorkUnit two;
+  two.inputs = {0, 1};
+  EXPECT_NEAR(model.task_seconds(two), 2.0 * model.task_seconds(one), 1e-9);
+  EXPECT_GT(model.output_bytes(one), 0u);
+}
+
+TEST(ImageModel, Deterministic) {
+  ImageCompareModel a(ImageCompareParams::paper());
+  ImageCompareModel b(ImageCompareParams::paper());
+  ASSERT_EQ(a.catalog().count(), b.catalog().count());
+  for (std::size_t i = 0; i < a.catalog().count(); ++i) {
+    EXPECT_EQ(a.catalog().info(i).size, b.catalog().info(i).size);
+  }
+}
+
+TEST(ImageModel, InvalidParamsThrow) {
+  ImageCompareParams p = ImageCompareParams::paper();
+  p.image_count = 0;
+  EXPECT_THROW(ImageCompareModel{p}, FriedaError);
+}
+
+TEST(BlastModel, PaperCatalogShape) {
+  BlastModel model(BlastParams::paper());
+  EXPECT_EQ(model.catalog().count(), calib::kBlastSequenceCount);
+  EXPECT_EQ(model.common_data_bytes(), calib::kBlastDatabaseBytes);
+  EXPECT_EQ(model.catalog().info(0).size, calib::kBlastSequenceBytes);
+}
+
+TEST(BlastModel, SequentialSumMatchesTableOne) {
+  BlastModel model(BlastParams::paper());
+  const auto units = core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile,
+                                                        model.catalog());
+  EXPECT_EQ(units.size(), 7500u);
+  double total = 0.0;
+  for (const auto& u : units) total += model.task_seconds(u);
+  EXPECT_NEAR(total, calib::paper::kBlastSequential, 0.05 * calib::paper::kBlastSequential);
+}
+
+TEST(BlastModel, CostsAreSkewed) {
+  BlastModel model(BlastParams::paper());
+  RunningStats s;
+  for (storage::FileId f = 0; f < model.catalog().count(); ++f) s.add(model.file_cost(f));
+  EXPECT_NEAR(s.cv(), calib::kBlastTaskCv, 0.06);
+  EXPECT_GT(s.max() / s.mean(), 2.0);  // a genuinely heavy tail
+}
+
+TEST(BlastModel, CostsDeterministicPerUnit) {
+  BlastModel a(BlastParams::paper());
+  BlastModel b(BlastParams::paper());
+  for (storage::FileId f = 0; f < 100; ++f) {
+    EXPECT_DOUBLE_EQ(a.file_cost(f), b.file_cost(f));
+  }
+  core::WorkUnit u;
+  u.inputs = {3, 7};
+  EXPECT_DOUBLE_EQ(a.task_seconds(u), a.file_cost(3) + a.file_cost(7));
+  EXPECT_THROW(a.file_cost(999999), FriedaError);
+}
+
+TEST(SyntheticModel, HonorsParams) {
+  SyntheticParams p;
+  p.file_count = 50;
+  p.mean_file_bytes = 2 * MB;
+  p.file_size_cv = 0.0;
+  p.mean_task_seconds = 3.0;
+  p.task_cv = 0.0;
+  p.common_data_bytes = 10 * MB;
+  p.output_bytes = KB;
+  SyntheticModel model(p);
+  EXPECT_EQ(model.catalog().count(), 50u);
+  EXPECT_EQ(model.catalog().info(0).size, 2 * MB);
+  EXPECT_DOUBLE_EQ(model.file_cost(0), 3.0);
+  EXPECT_EQ(model.common_data_bytes(), 10 * MB);
+  core::WorkUnit u;
+  u.inputs = {0};
+  EXPECT_EQ(model.output_bytes(u), KB);
+  EXPECT_DOUBLE_EQ(model.task_seconds(u), 3.0);
+}
+
+TEST(SyntheticModel, SkewKnob) {
+  SyntheticParams p;
+  p.file_count = 5000;
+  p.mean_task_seconds = 2.0;
+  p.task_cv = 1.0;
+  SyntheticModel model(p);
+  RunningStats s;
+  for (storage::FileId f = 0; f < model.catalog().count(); ++f) s.add(model.file_cost(f));
+  EXPECT_NEAR(s.mean(), 2.0, 0.15);
+  EXPECT_NEAR(s.cv(), 1.0, 0.12);
+}
+
+TEST(SyntheticModel, InvalidThrow) {
+  SyntheticParams p;
+  p.file_count = 0;
+  EXPECT_THROW(SyntheticModel{p}, FriedaError);
+}
+
+}  // namespace
+}  // namespace frieda::workload
