@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beamline_images.dir/beamline_images.cpp.o"
+  "CMakeFiles/beamline_images.dir/beamline_images.cpp.o.d"
+  "beamline_images"
+  "beamline_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beamline_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

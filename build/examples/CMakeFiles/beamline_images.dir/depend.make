@@ -1,0 +1,2 @@
+# Empty dependencies file for beamline_images.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_screening.dir/blast_screening.cpp.o"
+  "CMakeFiles/blast_screening.dir/blast_screening.cpp.o.d"
+  "blast_screening"
+  "blast_screening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_screening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

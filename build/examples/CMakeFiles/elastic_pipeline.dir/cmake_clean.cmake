@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_pipeline.dir/elastic_pipeline.cpp.o"
+  "CMakeFiles/elastic_pipeline.dir/elastic_pipeline.cpp.o.d"
+  "elastic_pipeline"
+  "elastic_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

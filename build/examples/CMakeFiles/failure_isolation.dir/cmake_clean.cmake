@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_isolation.dir/failure_isolation.cpp.o"
+  "CMakeFiles/failure_isolation.dir/failure_isolation.cpp.o.d"
+  "failure_isolation"
+  "failure_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

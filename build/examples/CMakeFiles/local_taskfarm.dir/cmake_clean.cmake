@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_taskfarm.dir/local_taskfarm.cpp.o"
+  "CMakeFiles/local_taskfarm.dir/local_taskfarm.cpp.o.d"
+  "local_taskfarm"
+  "local_taskfarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_taskfarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

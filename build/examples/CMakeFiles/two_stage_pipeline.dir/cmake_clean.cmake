@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_stage_pipeline.dir/two_stage_pipeline.cpp.o"
+  "CMakeFiles/two_stage_pipeline.dir/two_stage_pipeline.cpp.o.d"
+  "two_stage_pipeline"
+  "two_stage_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_stage_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/frieda_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/frieda_cluster.dir/vm.cpp.o"
+  "CMakeFiles/frieda_cluster.dir/vm.cpp.o.d"
+  "libfrieda_cluster.a"
+  "libfrieda_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

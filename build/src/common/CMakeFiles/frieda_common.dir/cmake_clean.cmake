@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_common.dir/config.cpp.o"
+  "CMakeFiles/frieda_common.dir/config.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/csv.cpp.o"
+  "CMakeFiles/frieda_common.dir/csv.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/log.cpp.o"
+  "CMakeFiles/frieda_common.dir/log.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/rng.cpp.o"
+  "CMakeFiles/frieda_common.dir/rng.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/stats.cpp.o"
+  "CMakeFiles/frieda_common.dir/stats.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/string_util.cpp.o"
+  "CMakeFiles/frieda_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/table.cpp.o"
+  "CMakeFiles/frieda_common.dir/table.cpp.o.d"
+  "CMakeFiles/frieda_common.dir/timeline.cpp.o"
+  "CMakeFiles/frieda_common.dir/timeline.cpp.o.d"
+  "libfrieda_common.a"
+  "libfrieda_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

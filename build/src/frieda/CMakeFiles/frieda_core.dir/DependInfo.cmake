@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frieda/adaptive.cpp" "src/frieda/CMakeFiles/frieda_core.dir/adaptive.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/frieda/assignment.cpp" "src/frieda/CMakeFiles/frieda_core.dir/assignment.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/frieda/command.cpp" "src/frieda/CMakeFiles/frieda_core.dir/command.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/command.cpp.o.d"
+  "/root/repo/src/frieda/partition.cpp" "src/frieda/CMakeFiles/frieda_core.dir/partition.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/partition.cpp.o.d"
+  "/root/repo/src/frieda/protocol.cpp" "src/frieda/CMakeFiles/frieda_core.dir/protocol.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/frieda/report.cpp" "src/frieda/CMakeFiles/frieda_core.dir/report.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/report.cpp.o.d"
+  "/root/repo/src/frieda/run.cpp" "src/frieda/CMakeFiles/frieda_core.dir/run.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/run.cpp.o.d"
+  "/root/repo/src/frieda/types.cpp" "src/frieda/CMakeFiles/frieda_core.dir/types.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/types.cpp.o.d"
+  "/root/repo/src/frieda/workflow.cpp" "src/frieda/CMakeFiles/frieda_core.dir/workflow.cpp.o" "gcc" "src/frieda/CMakeFiles/frieda_core.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frieda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frieda_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/frieda_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/frieda_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/frieda_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_core.dir/adaptive.cpp.o"
+  "CMakeFiles/frieda_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/assignment.cpp.o"
+  "CMakeFiles/frieda_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/command.cpp.o"
+  "CMakeFiles/frieda_core.dir/command.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/partition.cpp.o"
+  "CMakeFiles/frieda_core.dir/partition.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/protocol.cpp.o"
+  "CMakeFiles/frieda_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/report.cpp.o"
+  "CMakeFiles/frieda_core.dir/report.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/run.cpp.o"
+  "CMakeFiles/frieda_core.dir/run.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/types.cpp.o"
+  "CMakeFiles/frieda_core.dir/types.cpp.o.d"
+  "CMakeFiles/frieda_core.dir/workflow.cpp.o"
+  "CMakeFiles/frieda_core.dir/workflow.cpp.o.d"
+  "libfrieda_core.a"
+  "libfrieda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

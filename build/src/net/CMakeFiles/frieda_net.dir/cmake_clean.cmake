@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_net.dir/fairshare.cpp.o"
+  "CMakeFiles/frieda_net.dir/fairshare.cpp.o.d"
+  "CMakeFiles/frieda_net.dir/network.cpp.o"
+  "CMakeFiles/frieda_net.dir/network.cpp.o.d"
+  "CMakeFiles/frieda_net.dir/topology.cpp.o"
+  "CMakeFiles/frieda_net.dir/topology.cpp.o.d"
+  "libfrieda_net.a"
+  "libfrieda_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_rt.dir/rt_engine.cpp.o"
+  "CMakeFiles/frieda_rt.dir/rt_engine.cpp.o.d"
+  "CMakeFiles/frieda_rt.dir/token_bucket.cpp.o"
+  "CMakeFiles/frieda_rt.dir/token_bucket.cpp.o.d"
+  "libfrieda_rt.a"
+  "libfrieda_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/frieda_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/frieda_sim.dir/simulation.cpp.o"
+  "CMakeFiles/frieda_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/frieda_sim.dir/sync.cpp.o"
+  "CMakeFiles/frieda_sim.dir/sync.cpp.o.d"
+  "libfrieda_sim.a"
+  "libfrieda_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

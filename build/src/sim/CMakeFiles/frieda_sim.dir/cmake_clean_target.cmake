@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfrieda_sim.a"
+)

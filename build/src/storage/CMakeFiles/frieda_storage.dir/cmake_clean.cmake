@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_storage.dir/device.cpp.o"
+  "CMakeFiles/frieda_storage.dir/device.cpp.o.d"
+  "CMakeFiles/frieda_storage.dir/file.cpp.o"
+  "CMakeFiles/frieda_storage.dir/file.cpp.o.d"
+  "libfrieda_storage.a"
+  "libfrieda_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frieda_workload.dir/blast.cpp.o"
+  "CMakeFiles/frieda_workload.dir/blast.cpp.o.d"
+  "CMakeFiles/frieda_workload.dir/image_compare.cpp.o"
+  "CMakeFiles/frieda_workload.dir/image_compare.cpp.o.d"
+  "CMakeFiles/frieda_workload.dir/scenario_config.cpp.o"
+  "CMakeFiles/frieda_workload.dir/scenario_config.cpp.o.d"
+  "CMakeFiles/frieda_workload.dir/scenarios.cpp.o"
+  "CMakeFiles/frieda_workload.dir/scenarios.cpp.o.d"
+  "CMakeFiles/frieda_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/frieda_workload.dir/synthetic.cpp.o.d"
+  "libfrieda_workload.a"
+  "libfrieda_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frieda_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_capacity.dir/test_capacity_streams.cpp.o"
+  "CMakeFiles/test_capacity.dir/test_capacity_streams.cpp.o.d"
+  "CMakeFiles/test_capacity.dir/test_shared_volume.cpp.o"
+  "CMakeFiles/test_capacity.dir/test_shared_volume.cpp.o.d"
+  "test_capacity"
+  "test_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

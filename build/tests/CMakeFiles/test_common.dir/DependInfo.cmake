@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/test_common.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_csv_table.cpp" "tests/CMakeFiles/test_common.dir/test_csv_table.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_csv_table.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/test_common.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/test_common.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strutil.cpp" "tests/CMakeFiles/test_common.dir/test_strutil.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_strutil.cpp.o.d"
+  "/root/repo/tests/test_units.cpp" "tests/CMakeFiles/test_common.dir/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/frieda_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/frieda_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_config.cpp.o"
+  "CMakeFiles/test_common.dir/test_config.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_csv_table.cpp.o"
+  "CMakeFiles/test_common.dir/test_csv_table.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_rng.cpp.o"
+  "CMakeFiles/test_common.dir/test_rng.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_stats.cpp.o"
+  "CMakeFiles/test_common.dir/test_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_strutil.cpp.o"
+  "CMakeFiles/test_common.dir/test_strutil.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_units.cpp.o"
+  "CMakeFiles/test_common.dir/test_units.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_assignment_adaptive.cpp.o"
+  "CMakeFiles/test_core.dir/test_assignment_adaptive.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_command_protocol.cpp.o"
+  "CMakeFiles/test_core.dir/test_command_protocol.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_partition.cpp.o"
+  "CMakeFiles/test_core.dir/test_partition.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_timeline.cpp.o"
+  "CMakeFiles/test_core.dir/test_timeline.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

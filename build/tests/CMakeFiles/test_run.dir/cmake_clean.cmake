@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_run.dir/test_failures_elasticity.cpp.o"
+  "CMakeFiles/test_run.dir/test_failures_elasticity.cpp.o.d"
+  "CMakeFiles/test_run.dir/test_run_edges.cpp.o"
+  "CMakeFiles/test_run.dir/test_run_edges.cpp.o.d"
+  "CMakeFiles/test_run.dir/test_run_integration.cpp.o"
+  "CMakeFiles/test_run.dir/test_run_integration.cpp.o.d"
+  "CMakeFiles/test_run.dir/test_run_properties.cpp.o"
+  "CMakeFiles/test_run.dir/test_run_properties.cpp.o.d"
+  "test_run"
+  "test_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

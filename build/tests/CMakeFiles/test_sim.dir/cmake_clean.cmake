@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_channel.cpp.o"
+  "CMakeFiles/test_sim.dir/test_channel.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o"
+  "CMakeFiles/test_sim.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_simulation.cpp.o"
+  "CMakeFiles/test_sim.dir/test_simulation.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sync.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
