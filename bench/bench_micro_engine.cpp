@@ -7,6 +7,7 @@
 #include "frieda/partition.hpp"
 #include "frieda/run.hpp"
 #include "net/fairshare.hpp"
+#include "net/network.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
 #include "workload/synthetic.hpp"
@@ -83,6 +84,47 @@ void BM_MaxMinFairSolve(benchmark::State& state) {
                           static_cast<std::int64_t>(flows));
 }
 BENCHMARK(BM_MaxMinFairSolve)->Arg(16)->Arg(256);
+
+void BM_NetworkManyFlows(benchmark::State& state) {
+  // Many-flow fluid-model stress: a staging-like pattern where a handful of
+  // data servers feed a large worker pool, with mixed destinations, payload
+  // sizes and per-transfer stream counts.  With Arg(512) this puts ~1.3k
+  // concurrent flows into the network at once, which is the regime the
+  // flow-class coalescing / incremental-recompute fast path targets.
+  const std::size_t transfers = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kServers = 8;
+  constexpr std::size_t kWorkers = 32;
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    sim::Simulation sim(7);
+    net::Topology topo;
+    for (std::size_t i = 0; i < kServers; ++i) {
+      topo.add_node("srv" + std::to_string(i), gbps(1), gbps(1));
+    }
+    for (std::size_t i = 0; i < kWorkers; ++i) {
+      topo.add_node("wrk" + std::to_string(i), mbps(100), mbps(100));
+    }
+    net::Network netw(sim, std::move(topo), /*latency=*/1e-3);
+    Rng rng(13);
+    flows = 0;
+    for (std::size_t i = 0; i < transfers; ++i) {
+      const auto src = static_cast<net::NodeId>(rng.index(kServers));
+      const auto dst = static_cast<net::NodeId>(kServers + rng.index(kWorkers));
+      const unsigned streams = 1 + static_cast<unsigned>(rng.index(4));
+      const Bytes bytes = (1 + rng.index(8)) * MB;
+      flows += streams;
+      sim.spawn([](net::Network& n, net::NodeId s, net::NodeId d, Bytes b,
+                   unsigned st) -> sim::Task<> {
+        (void)co_await n.transfer(s, d, b, st);
+      }(netw, src, dst, bytes, streams));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(netw.total_bytes_moved());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows));
+}
+BENCHMARK(BM_NetworkManyFlows)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
 
 void BM_PartitionGenerate(benchmark::State& state) {
   storage::FileCatalog cat;

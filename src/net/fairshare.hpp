@@ -7,9 +7,18 @@
 // equal share it can afford, remove them, and continue.  This is the standard
 // fluid model for TCP-like sharing and is what makes the master's NIC the
 // staging bottleneck in the paper's experiments (Section IV).
+//
+// Two entry points share one implementation:
+//   * max_min_fair_rates           — one FlowConstraints per flow (legacy);
+//   * max_min_fair_rates_weighted  — flows with identical resource sets are
+//     coalesced into a counted class, so the progressive-filling rounds cost
+//     O(distinct classes) instead of O(flows).  This is the network model's
+//     fast path: the N parallel streams of one src→dst transfer, or many
+//     transfers over the same pair, are a single class.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/units.hpp"
@@ -21,12 +30,52 @@ struct FlowConstraints {
   std::vector<std::size_t> resources;
 };
 
+/// A coalesced class of `count` identical flows that all traverse exactly the
+/// same resources.  Each member flow receives the class's per-flow rate.
+struct WeightedFlowConstraints {
+  std::vector<std::size_t> resources;
+  std::uint64_t count = 1;
+};
+
+/// Reusable solver buffers; pass the same instance across calls to avoid
+/// reallocating per-solve scratch state (the network recomputes rates on
+/// every flow arrival/departure).
+struct FairshareScratch {
+  std::vector<double> residual;
+  std::vector<std::uint64_t> unfrozen;
+  std::vector<unsigned char> frozen;
+};
+
 /// Solve max-min fair rates.
 ///
 /// `capacities[r]` is resource r's capacity in bytes/second; `flows[f]` lists
 /// the resources flow f traverses (must be non-empty, indices in range).
-/// Returns one rate per flow.  Flows through zero-capacity resources get 0.
+/// Returns one rate per flow.  Flows through zero-capacity resources get 0;
+/// flows whose every resource is unconstrained (+infinity) get 0 as well
+/// (orphan flows — the fluid model has no finite bottleneck to fill against).
 std::vector<Bandwidth> max_min_fair_rates(const std::vector<Bandwidth>& capacities,
                                           const std::vector<FlowConstraints>& flows);
+
+/// Counted/weighted variant: `classes[c]` stands for `classes[c].count`
+/// identical flows.  Returns the per-flow rate of each class (every member
+/// flow of class c runs at the returned rates[c]).  Equivalent to expanding
+/// each class into `count` copies and calling max_min_fair_rates.
+std::vector<Bandwidth> max_min_fair_rates_weighted(
+    const std::vector<Bandwidth>& capacities,
+    const std::vector<WeightedFlowConstraints>& classes);
+
+/// Allocation-lean overload: reuses `scratch` buffers and writes the per-flow
+/// class rates into `rates_out` (resized to classes.size()).
+void max_min_fair_rates_weighted(const std::vector<Bandwidth>& capacities,
+                                 const std::vector<WeightedFlowConstraints>& classes,
+                                 FairshareScratch& scratch,
+                                 std::vector<Bandwidth>& rates_out);
+
+/// Pointer/count variant of the allocation-lean overload, for callers that
+/// keep a grow-only class buffer and solve over a prefix of it.
+void max_min_fair_rates_weighted(const std::vector<Bandwidth>& capacities,
+                                 const WeightedFlowConstraints* classes, std::size_t count,
+                                 FairshareScratch& scratch,
+                                 std::vector<Bandwidth>& rates_out);
 
 }  // namespace frieda::net

@@ -5,7 +5,6 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
-#include "net/fairshare.hpp"
 
 namespace frieda::net {
 
@@ -17,12 +16,88 @@ constexpr double kEpsilonBytes = 1e-6;
 // makes representable progress (guards against the asymptotic-drain loop
 // where remaining/rate underflows the current time's ulp).
 constexpr double kMinTimeStep = 1e-9;
+
+// Persistent resource key space: kind in the top bits, node/pair id below.
+// Mirrors the table the pre-coalescing implementation rebuilt per recompute.
+std::uint64_t egress_key(NodeId n) { return 0x1000000000ull + n; }
+std::uint64_t ingress_key(NodeId n) { return 0x2000000000ull + n; }
+std::uint64_t pair_key(NodeId s, NodeId d) {
+  return 0x3000000000ull + (static_cast<std::uint64_t>(s) << 20) + d;
+}
+constexpr std::uint64_t kBackboneKey = 0x4000000000ull;
+std::uint64_t loopback_key(NodeId n) { return 0x5000000000ull + n; }
+std::uint64_t site_key(SiteId a, SiteId b) {
+  if (a > b) std::swap(a, b);
+  return 0x6000000000ull + (static_cast<std::uint64_t>(a) << 16) + b;
+}
+
+std::uint64_t class_key(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
 }  // namespace
 
 Network::Network(sim::Simulation& sim, Topology topology, SimTime latency, Bandwidth loopback)
     : sim_(sim), topology_(std::move(topology)), latency_(latency), loopback_(loopback) {
   FRIEDA_CHECK(latency_ >= 0.0, "latency must be >= 0");
   FRIEDA_CHECK(loopback_ > 0.0, "loopback bandwidth must be > 0");
+}
+
+void Network::finish_transfer(NodeId src, NodeId dst, TransferResult& result) {
+  result.finished = sim_.now();
+  traffic_[src].bytes_sent += result.transferred;
+  traffic_[dst].bytes_received += result.transferred;
+  total_bytes_moved_ += result.transferred;
+  if (observer_) observer_(src, dst, result);
+}
+
+std::uint32_t Network::class_for(NodeId src, NodeId dst) {
+  const auto [it, inserted] = class_of_pair_.emplace(
+      class_key(src, dst), static_cast<std::uint32_t>(classes_.size()));
+  if (inserted) {
+    FlowClass cls;
+    cls.src = src;
+    cls.dst = dst;
+    classes_.push_back(std::move(cls));
+  }
+  return it->second;
+}
+
+std::size_t Network::resource_id(std::uint64_t key, Bandwidth cap) {
+  const auto [it, inserted] = resource_ids_.emplace(key, resource_caps_.size());
+  if (inserted) {
+    resource_caps_.push_back(cap);
+    resource_dense_.push_back(0);
+    resource_epoch_.push_back(0);
+  }
+  return it->second;
+}
+
+void Network::rebuild_class_resources(FlowClass& cls) {
+  cls.resources.clear();
+  if (cls.src == cls.dst) {
+    // Loopback copies share the node's loopback device, not the NIC.
+    cls.resources.push_back(resource_id(loopback_key(cls.src), loopback_));
+  } else {
+    cls.resources.push_back(resource_id(egress_key(cls.src), topology_.egress(cls.src)));
+    cls.resources.push_back(resource_id(ingress_key(cls.dst), topology_.ingress(cls.dst)));
+    const Bandwidth pair_cap = topology_.pair_limit(cls.src, cls.dst);
+    if (pair_cap != std::numeric_limits<Bandwidth>::infinity()) {
+      cls.resources.push_back(resource_id(pair_key(cls.src, cls.dst), pair_cap));
+    }
+    if (topology_.has_backbone_cap()) {
+      cls.resources.push_back(resource_id(kBackboneKey, topology_.backbone_capacity()));
+    }
+    if (topology_.has_intersite_caps()) {
+      const SiteId sa = topology_.site(cls.src);
+      const SiteId sb = topology_.site(cls.dst);
+      const Bandwidth wan = topology_.intersite_capacity(sa, sb);
+      if (wan != std::numeric_limits<Bandwidth>::infinity()) {
+        cls.resources.push_back(resource_id(site_key(sa, sb), wan));
+      }
+    }
+  }
+  cls.cached_version = invalidation_version();
+  cls.cached = true;
 }
 
 sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
@@ -37,7 +112,7 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
 
   if (node_failed(src) || node_failed(dst)) {
     result.status = TransferStatus::kFailed;
-    result.finished = sim_.now();
+    finish_transfer(src, dst, result);
     co_return result;
   }
   // Each stream pays connection setup; streams are established sequentially
@@ -45,18 +120,17 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
   if (latency_ > 0.0) co_await sim_.delay(latency_ * streams);
   if (node_failed(src) || node_failed(dst)) {  // failed during setup
     result.status = TransferStatus::kFailed;
-    result.finished = sim_.now();
+    finish_transfer(src, dst, result);
     co_return result;
   }
   if (bytes == 0) {
-    result.finished = sim_.now();
-    traffic_[src].bytes_sent += 0;
-    if (observer_) observer_(src, dst, result);
+    finish_transfer(src, dst, result);
     co_return result;
   }
 
   streams = static_cast<unsigned>(
       std::min<Bytes>(streams, std::max<Bytes>(bytes, 1)));  // no empty streams
+  const std::uint32_t cls = class_for(src, dst);
   std::vector<FlowPtr> stream_flows;
   stream_flows.reserve(streams);
   advance_flows();
@@ -68,6 +142,7 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
     flow->requested = share;
     flow->remaining = static_cast<double>(share);
     flow->started = sim_.now();
+    flow->class_slot = cls;
     flow->signal = std::make_unique<sim::Signal>(sim_);
     flows_.push_back(flow);
     stream_flows.push_back(std::move(flow));
@@ -86,12 +161,7 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                               ? flow->requested
                               : static_cast<Bytes>(moved + 0.5);
   }
-  result.finished = sim_.now();
-
-  traffic_[src].bytes_sent += result.transferred;
-  traffic_[dst].bytes_received += result.transferred;
-  total_bytes_moved_ += result.transferred;
-  if (observer_) observer_(src, dst, result);
+  finish_transfer(src, dst, result);
   co_return result;
 }
 
@@ -105,9 +175,8 @@ void Network::advance_flows() {
 }
 
 void Network::recompute_rates() {
-  // Drop finished flows from the active set first.
-  std::vector<FlowPtr> live;
-  live.reserve(flows_.size());
+  // Drop finished flows from the active set first (compacted in place).
+  std::size_t keep = 0;
   for (auto& flow : flows_) {
     if (flow->done) continue;
     if (flow->remaining <= kEpsilonBytes ||
@@ -115,69 +184,69 @@ void Network::recompute_rates() {
       complete_flow(flow, TransferStatus::kCompleted);
       continue;
     }
-    live.push_back(flow);
+    flows_[keep++] = std::move(flow);
   }
-  flows_ = std::move(live);
+  flows_.resize(keep);
 
   if (completion_event_.pending()) sim_.cancel(completion_event_);
+  active_classes_.clear();
   if (flows_.empty()) return;
 
-  // Build the resource table: egress per distinct src, ingress per distinct
-  // dst, provisioned pair limits, optional backbone, and a loopback class.
-  std::vector<Bandwidth> capacities;
-  std::unordered_map<std::uint64_t, std::size_t> resource_index;
-  const auto resource = [&](std::uint64_t key, Bandwidth cap) {
-    auto [it, inserted] = resource_index.emplace(key, capacities.size());
-    if (inserted) capacities.push_back(cap);
-    return it->second;
-  };
-  // Key space: kind in the top bits, node/pair id below.
-  const auto egress_key = [](NodeId n) { return 0x1000000000ull + n; };
-  const auto ingress_key = [](NodeId n) { return 0x2000000000ull + n; };
-  const auto pair_key = [](NodeId s, NodeId d) {
-    return 0x3000000000ull + (static_cast<std::uint64_t>(s) << 20) + d;
-  };
-  constexpr std::uint64_t kBackboneKey = 0x4000000000ull;
-  const auto site_key = [](SiteId a, SiteId b) {
-    if (a > b) std::swap(a, b);
-    return 0x6000000000ull + (static_cast<std::uint64_t>(a) << 16) + b;
-  };
-
-  std::vector<FlowConstraints> constraints(flows_.size());
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    const auto& flow = flows_[i];
-    auto& c = constraints[i];
-    if (flow->src == flow->dst) {
-      // Loopback copies share the node's loopback device, not the NIC.
-      c.resources.push_back(resource(0x5000000000ull + flow->src, loopback_));
-      continue;
-    }
-    c.resources.push_back(resource(egress_key(flow->src), topology_.egress(flow->src)));
-    c.resources.push_back(resource(ingress_key(flow->dst), topology_.ingress(flow->dst)));
-    const Bandwidth pair_cap = topology_.pair_limit(flow->src, flow->dst);
-    if (pair_cap != std::numeric_limits<Bandwidth>::infinity()) {
-      c.resources.push_back(resource(pair_key(flow->src, flow->dst), pair_cap));
-    }
-    if (topology_.has_backbone_cap()) {
-      c.resources.push_back(resource(kBackboneKey, topology_.backbone_capacity()));
-    }
-    if (topology_.has_intersite_caps()) {
-      const SiteId sa = topology_.site(flow->src);
-      const SiteId sb = topology_.site(flow->dst);
-      const Bandwidth wan = topology_.intersite_capacity(sa, sb);
-      if (wan != std::numeric_limits<Bandwidth>::infinity()) {
-        c.resources.push_back(resource(site_key(sa, sb), wan));
-      }
-    }
+  // Invalidate the persistent resource registry when the topology or the
+  // failure set changed; class constraint vectors re-cache lazily below.
+  const std::uint64_t version = invalidation_version();
+  if (!resources_valid_ || resources_version_ != version) {
+    resource_ids_.clear();
+    resource_caps_.clear();
+    resource_dense_.clear();
+    resource_epoch_.clear();
+    resources_version_ = version;
+    resources_valid_ = true;
   }
 
-  const auto rates = max_min_fair_rates(capacities, constraints);
+  // Collect the active classes in first-flow order, counting live members.
+  ++solve_epoch_;
+  for (const auto& flow : flows_) {
+    FlowClass& cls = classes_[flow->class_slot];
+    if (cls.epoch != solve_epoch_) {
+      cls.epoch = solve_epoch_;
+      cls.live = 0;
+      cls.order = static_cast<std::uint32_t>(active_classes_.size());
+      active_classes_.push_back(flow->class_slot);
+      if (!cls.cached || cls.cached_version != version) rebuild_class_resources(cls);
+    }
+    ++cls.live;
+  }
+
+  // Densify: remap each active class's persistent resource ids onto a compact
+  // 0..n-1 capacity table (stale resources of departed classes are skipped).
+  const std::size_t nc = active_classes_.size();
+  if (solver_classes_.size() < nc) solver_classes_.resize(nc);  // grow-only
+  dense_caps_.clear();
+  for (std::size_t i = 0; i < nc; ++i) {
+    const FlowClass& cls = classes_[active_classes_[i]];
+    WeightedFlowConstraints& wc = solver_classes_[i];
+    wc.resources.clear();
+    for (const std::size_t pid : cls.resources) {
+      if (resource_epoch_[pid] != solve_epoch_) {
+        resource_epoch_[pid] = solve_epoch_;
+        resource_dense_[pid] = dense_caps_.size();
+        dense_caps_.push_back(resource_caps_[pid]);
+      }
+      wc.resources.push_back(resource_dense_[pid]);
+    }
+    wc.count = cls.live;
+  }
+
+  max_min_fair_rates_weighted(dense_caps_, solver_classes_.data(), nc, fair_scratch_,
+                              class_rates_);
 
   SimTime next_completion = std::numeric_limits<SimTime>::infinity();
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
-    flows_[i]->rate = rates[i];
-    if (rates[i] > 0.0) {
-      next_completion = std::min(next_completion, flows_[i]->remaining / rates[i]);
+  for (const auto& flow : flows_) {
+    const Bandwidth rate = class_rates_[classes_[flow->class_slot].order];
+    flow->rate = rate;
+    if (rate > 0.0) {
+      next_completion = std::min(next_completion, flow->remaining / rate);
     }
   }
   FRIEDA_CHECK(next_completion != std::numeric_limits<SimTime>::infinity(),
@@ -198,6 +267,7 @@ void Network::complete_flow(const FlowPtr& flow, TransferStatus status) {
 
 void Network::fail_node(NodeId node) {
   if (!failed_nodes_.insert(node).second) return;
+  ++failure_version_;
   FLOG(kDebug, "net", "node " << node << " failed; aborting its flows");
   advance_flows();
   for (auto& flow : flows_) {
@@ -209,7 +279,9 @@ void Network::fail_node(NodeId node) {
   recompute_rates();
 }
 
-void Network::restore_node(NodeId node) { failed_nodes_.erase(node); }
+void Network::restore_node(NodeId node) {
+  if (failed_nodes_.erase(node) > 0) ++failure_version_;
+}
 
 NodeTraffic Network::traffic(NodeId node) const {
   const auto it = traffic_.find(node);

@@ -7,6 +7,14 @@
 // provisioned links without per-packet simulation, which is exactly the
 // granularity the evaluation observes (whole-file scp durations).
 //
+// Fast path: flows with the same (src, dst) endpoints traverse exactly the
+// same resources, so they are coalesced into one weighted flow class and the
+// solver runs over O(distinct classes) instead of O(flows) (see
+// docs/performance.md).  Each class's constraint vector is computed once and
+// cached against a monotonically increasing invalidation version (topology
+// mutations + node failure/restore events); the capacity/constraint buffers
+// are reused across recomputes instead of being rebuilt from scratch.
+//
 // Node failure support: fail_node() aborts every flow touching the node;
 // the awaiting process resumes with TransferStatus::kFailed, mirroring a
 // dropped scp connection when a VM disappears.
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "net/fairshare.hpp"
 #include "net/topology.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
@@ -94,16 +103,21 @@ class Network {
   /// Number of flows currently in the fluid model.
   std::size_t active_flows() const { return flows_.size(); }
 
+  /// Number of distinct flow classes the solver currently runs over (streams
+  /// and transfers sharing a (src, dst) pair coalesce into one class).
+  std::size_t active_flow_classes() const { return active_classes_.size(); }
+
   /// Per-node accounting of completed traffic.
   NodeTraffic traffic(NodeId node) const;
 
-  /// Total bytes moved by completed transfers.
+  /// Total bytes moved by transfers (including partial bytes of failed ones).
   Bytes total_bytes_moved() const { return total_bytes_moved_; }
 
   /// Total number of transfers started.
   std::uint64_t transfers_started() const { return transfers_started_; }
 
-  /// Time integral bookkeeping hook: called with every finished transfer.
+  /// Time integral bookkeeping hook: called with every finished transfer,
+  /// on every exit path (completed, failed at setup, failed mid-flight).
   void set_observer(std::function<void(NodeId src, NodeId dst, const TransferResult&)> obs) {
     observer_ = std::move(obs);
   }
@@ -116,15 +130,39 @@ class Network {
     double remaining = 0.0;  // fractional bytes in the fluid model
     Bandwidth rate = 0.0;
     SimTime started = 0.0;
+    std::uint32_t class_slot = 0;  // index into classes_
     TransferStatus status = TransferStatus::kCompleted;
     bool done = false;
     std::unique_ptr<sim::Signal> signal;
   };
   using FlowPtr = std::shared_ptr<Flow>;
 
+  /// One coalesced (src, dst) flow class with its cached constraint vector.
+  struct FlowClass {
+    NodeId src = 0;
+    NodeId dst = 0;
+    std::vector<std::size_t> resources;  ///< persistent resource ids
+    std::uint64_t cached_version = 0;    ///< invalidation stamp for `resources`
+    bool cached = false;
+    // Per-solve state (valid when epoch == solve_epoch_).
+    std::uint64_t epoch = 0;
+    std::uint64_t live = 0;   ///< live flows in this class this solve
+    std::uint32_t order = 0;  ///< dense class index this solve
+  };
+
   void advance_flows();    // progress remaining bytes to sim.now()
   void recompute_rates();  // solve max-min and reschedule completion event
   void complete_flow(const FlowPtr& flow, TransferStatus status);
+  void finish_transfer(NodeId src, NodeId dst, TransferResult& result);
+
+  /// Invalidation stamp: changes whenever the topology mutates or a node
+  /// fails / is restored.
+  std::uint64_t invalidation_version() const {
+    return topology_.version() + failure_version_;
+  }
+  std::uint32_t class_for(NodeId src, NodeId dst);
+  std::size_t resource_id(std::uint64_t key, Bandwidth cap);
+  void rebuild_class_resources(FlowClass& cls);
 
   sim::Simulation& sim_;
   Topology topology_;
@@ -135,6 +173,27 @@ class Network {
   SimTime last_advance_ = 0.0;
   sim::EventQueue::Handle completion_event_;
   std::unordered_set<NodeId> failed_nodes_;
+  std::uint64_t failure_version_ = 0;
+
+  // ---- flow-class registry ----
+  std::vector<FlowClass> classes_;
+  std::unordered_map<std::uint64_t, std::uint32_t> class_of_pair_;  // packed (src,dst)
+  std::uint64_t solve_epoch_ = 0;
+
+  // ---- persistent resource registry (rebuilt on invalidation) ----
+  std::unordered_map<std::uint64_t, std::size_t> resource_ids_;
+  std::vector<Bandwidth> resource_caps_;
+  std::uint64_t resources_version_ = 0;
+  bool resources_valid_ = false;
+
+  // ---- reusable solver buffers ----
+  std::vector<std::uint32_t> active_classes_;   ///< class slots, first-flow order
+  std::vector<std::size_t> resource_dense_;     ///< persistent id -> dense index
+  std::vector<std::uint64_t> resource_epoch_;   ///< stamp for resource_dense_
+  std::vector<Bandwidth> dense_caps_;           ///< solver capacities
+  std::vector<WeightedFlowConstraints> solver_classes_;  ///< grow-only
+  std::vector<Bandwidth> class_rates_;
+  FairshareScratch fair_scratch_;
 
   std::unordered_map<NodeId, NodeTraffic> traffic_;
   Bytes total_bytes_moved_ = 0;

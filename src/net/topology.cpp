@@ -1,7 +1,5 @@
 #include "net/topology.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace frieda::net {
@@ -9,6 +7,7 @@ namespace frieda::net {
 NodeId Topology::add_node(std::string name, Bandwidth egress, Bandwidth ingress) {
   FRIEDA_CHECK(egress > 0 && ingress > 0, "NIC capacities must be positive");
   nodes_.push_back(Node{std::move(name), egress, ingress});
+  ++version_;
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
@@ -36,17 +35,19 @@ void Topology::set_nic(NodeId id, Bandwidth egress, Bandwidth ingress) {
   FRIEDA_CHECK(egress > 0 && ingress > 0, "NIC capacities must be positive");
   nodes_[id].egress = egress;
   nodes_[id].ingress = ingress;
+  ++version_;
 }
 
 void Topology::set_pair_limit(NodeId src, NodeId dst, Bandwidth cap) {
   check(src);
   check(dst);
   FRIEDA_CHECK(cap > 0, "pair limit must be positive");
-  pair_limits_[{src, dst}] = cap;
+  pair_limits_[pair_key(src, dst)] = cap;
+  ++version_;
 }
 
 Bandwidth Topology::pair_limit(NodeId src, NodeId dst) const {
-  const auto it = pair_limits_.find({src, dst});
+  const auto it = pair_limits_.find(pair_key(src, dst));
   if (it == pair_limits_.end()) return std::numeric_limits<Bandwidth>::infinity();
   return it->second;
 }
@@ -54,6 +55,7 @@ Bandwidth Topology::pair_limit(NodeId src, NodeId dst) const {
 void Topology::set_site(NodeId id, SiteId site) {
   check(id);
   nodes_[id].site = site;
+  ++version_;
 }
 
 SiteId Topology::site(NodeId id) const {
@@ -64,12 +66,13 @@ SiteId Topology::site(NodeId id) const {
 void Topology::set_intersite_capacity(SiteId a, SiteId b, Bandwidth cap) {
   FRIEDA_CHECK(a != b, "inter-site capacity needs two distinct sites");
   FRIEDA_CHECK(cap > 0, "inter-site capacity must be positive");
-  intersite_[{std::min(a, b), std::max(a, b)}] = cap;
+  intersite_[site_key(a, b)] = cap;
+  ++version_;
 }
 
 Bandwidth Topology::intersite_capacity(SiteId a, SiteId b) const {
   if (a == b) return std::numeric_limits<Bandwidth>::infinity();
-  const auto it = intersite_.find({std::min(a, b), std::max(a, b)});
+  const auto it = intersite_.find(site_key(a, b));
   if (it == intersite_.end()) return std::numeric_limits<Bandwidth>::infinity();
   return it->second;
 }

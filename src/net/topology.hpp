@@ -5,12 +5,18 @@
 // a non-blocking switch through a 100 Mbps provisioned NIC.  A flow src→dst
 // therefore traverses src's egress, dst's ingress, optionally a provisioned
 // per-pair limit, and optionally the shared backbone.
+//
+// Pair and inter-site overrides live in hashed flat maps keyed by packed
+// integer ids (not ordered std::maps): lookups sit on the network model's
+// rate-recompute hot path.  Every mutation bumps version(), which the
+// network uses to invalidate its cached per-flow constraint vectors.
 #pragma once
 
 #include <cstdint>
 #include <limits>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -51,7 +57,10 @@ class Topology {
   Bandwidth pair_limit(NodeId src, NodeId dst) const;
 
   /// Cap the aggregate backbone (default: unconstrained switch).
-  void set_backbone_capacity(Bandwidth cap) { backbone_ = cap; }
+  void set_backbone_capacity(Bandwidth cap) {
+    backbone_ = cap;
+    ++version_;
+  }
 
   /// Backbone capacity (+infinity when unconstrained).
   Bandwidth backbone_capacity() const { return backbone_; }
@@ -77,6 +86,13 @@ class Topology {
   /// True when any inter-site cap was configured.
   bool has_intersite_caps() const { return !intersite_.empty(); }
 
+  /// Monotonic mutation counter: bumped by every change that can alter a
+  /// flow's constraint set or a resource's capacity (add_node, set_nic,
+  /// set_pair_limit, set_backbone_capacity, set_site,
+  /// set_intersite_capacity).  Caches keyed on this value stay valid exactly
+  /// as long as it is unchanged.
+  std::uint64_t version() const { return version_; }
+
  private:
   struct Node {
     std::string name;
@@ -86,10 +102,19 @@ class Topology {
   };
   void check(NodeId id) const;
 
+  static std::uint64_t pair_key(NodeId src, NodeId dst) {
+    return (static_cast<std::uint64_t>(src) << 32) | dst;
+  }
+  static std::uint32_t site_key(SiteId a, SiteId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint32_t>(a) << 16) | b;
+  }
+
   std::vector<Node> nodes_;
-  std::map<std::pair<NodeId, NodeId>, Bandwidth> pair_limits_;
-  std::map<std::pair<SiteId, SiteId>, Bandwidth> intersite_;
+  std::unordered_map<std::uint64_t, Bandwidth> pair_limits_;
+  std::unordered_map<std::uint32_t, Bandwidth> intersite_;
   Bandwidth backbone_ = std::numeric_limits<Bandwidth>::infinity();
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace frieda::net

@@ -1,49 +1,80 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace frieda::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNilSlot;
+    return slot;
+  }
+  FRIEDA_CHECK(slots_.size() < kNilSlot, "event queue slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.gen;  // invalidates outstanding handles and heap tombstones
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
 EventQueue::Handle EventQueue::push(SimTime t, Callback fn) {
-  auto node = std::make_shared<Handle::Node>();
-  node->time = t;
-  node->seq = next_seq_++;
-  node->fn = std::move(fn);
-  heap_.push(node);
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  heap_.push_back(HeapEntry{t, next_seq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return Handle(node);
+  return Handle(this, slot, s.gen);
 }
 
 void EventQueue::cancel(Handle& h) {
-  if (h.node_ && !h.node_->cancelled && !h.node_->fired) {
-    h.node_->cancelled = true;
-    h.node_->fn = nullptr;  // release captured state eagerly
+  if (h.queue_ == this && slot_pending(h.slot_, h.gen_)) {
+    slots_[h.slot_].fn = nullptr;  // release captured state eagerly
+    release_slot(h.slot_);         // heap entry becomes a tombstone
     --live_;
   }
-  h.node_.reset();
+  h.queue_ = nullptr;
 }
 
-void EventQueue::purge_cancelled_top() {
-  while (!heap_.empty() && heap_.top()->cancelled) heap_.pop();
+void EventQueue::purge_cancelled_top() const {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slots_[top.slot].live && slots_[top.slot].gen == top.gen) break;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
 }
 
-bool EventQueue::empty() {
+bool EventQueue::empty() const {
   purge_cancelled_top();
   return heap_.empty();
 }
 
-SimTime EventQueue::next_time() {
+SimTime EventQueue::next_time() const {
   FRIEDA_CHECK(!empty(), "next_time() on empty event queue");
-  return heap_.top()->time;
+  return heap_.front().time;
 }
 
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   FRIEDA_CHECK(!empty(), "pop() on empty event queue");
-  NodePtr node = heap_.top();
-  heap_.pop();
-  node->fired = true;
+  const HeapEntry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
+  Callback fn = std::move(slots_[top.slot].fn);
+  slots_[top.slot].fn = nullptr;
+  release_slot(top.slot);
   --live_;
-  return {node->time, std::move(node->fn)};
+  return {top.time, std::move(fn)};
 }
 
 }  // namespace frieda::sim

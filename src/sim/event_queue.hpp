@@ -2,16 +2,21 @@
 //
 // Events are ordered by (timestamp, insertion sequence), which makes
 // same-time events FIFO and the whole simulation deterministic.  Cancellation
-// is lazy: a cancelled event stays in the heap as a tombstone and is skipped
-// on pop, which keeps cancel() O(1) — important because the flow-level
-// network model cancels and reschedules completion events on every flow
-// arrival/departure.
+// is lazy: a cancelled event leaves a tombstone entry in the heap that is
+// skipped on pop, which keeps cancel() O(1) — important because the
+// flow-level network model cancels and reschedules completion events on
+// every flow arrival/departure.
+//
+// Storage is a slab of pooled event slots addressed by (index, generation)
+// handles.  Slots are recycled through an intrusive free list, so push/
+// cancel/pop perform no per-event heap allocation once the slab and the heap
+// vector have reached their high-water capacity (callbacks with captures
+// small enough for std::function's inline buffer stay allocation-free too).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
@@ -23,27 +28,25 @@ class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Cancellation handle for a scheduled event.  Default-constructed handles
-  /// are inert; handles may outlive the queue.
+  /// Cancellation handle for a scheduled event: a (slot, generation) ticket
+  /// into the queue's slab.  Default-constructed handles are inert.  Handles
+  /// are trivially destructible, so destroying one after the queue is gone is
+  /// fine, but pending() must not be called once the queue is destroyed.
   class Handle {
    public:
     Handle() = default;
 
     /// True when this handle refers to an event that has neither fired nor
     /// been cancelled.
-    bool pending() const { return node_ && !node_->cancelled && !node_->fired; }
+    bool pending() const;
 
    private:
     friend class EventQueue;
-    struct Node {
-      SimTime time = 0.0;
-      std::uint64_t seq = 0;
-      Callback fn;
-      bool cancelled = false;
-      bool fired = false;
-    };
-    explicit Handle(std::shared_ptr<Node> node) : node_(std::move(node)) {}
-    std::shared_ptr<Node> node_;
+    Handle(const EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+        : queue_(queue), slot_(slot), gen_(gen) {}
+    const EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
 
   /// Schedule `fn` at absolute time `t` (must be >= the last popped time;
@@ -54,32 +57,65 @@ class EventQueue {
   void cancel(Handle& h);
 
   /// True when no live (non-cancelled) events remain.
-  bool empty();
+  bool empty() const;
 
   /// Timestamp of the next live event.  Requires !empty().
-  SimTime next_time();
+  SimTime next_time() const;
 
   /// Pop and return the next live event's (time, callback).
   /// Requires !empty().
   std::pair<SimTime, Callback> pop();
 
-  /// Number of live events (linear scan-free approximation is impossible with
-  /// tombstones, so this counts pushes minus fires minus cancels).
+  /// Number of live events.  The tombstone design keeps this exact without a
+  /// scan: every push increments the count and every fire or cancel
+  /// decrements it, while tombstones left in the heap are already excluded.
   std::size_t size() const { return live_; }
 
  private:
-  using NodePtr = std::shared_ptr<Handle::Node>;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
+  /// Pooled event state; recycled via the free list.
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;        ///< bumped on fire/cancel to invalidate handles
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;            ///< scheduled and neither fired nor cancelled
+  };
+  /// Heap entries are value copies of the ordering key plus the slab ticket;
+  /// an entry whose generation no longer matches its slot is a tombstone.
+  struct HeapEntry {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+  };
   struct Later {
-    bool operator()(const NodePtr& a, const NodePtr& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->seq > b->seq;
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
-  void purge_cancelled_top();
 
-  std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
+  bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].live && slots_[slot].gen == gen;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  // Dropping tombstones off the top doesn't change the observable state, so
+  // const queries may purge.
+  void purge_cancelled_top() const;
+
+  mutable std::vector<HeapEntry> heap_;  ///< binary heap ordered by Later
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
+
+  friend class Handle;
 };
+
+inline bool EventQueue::Handle::pending() const {
+  return queue_ != nullptr && queue_->slot_pending(slot_, gen_);
+}
 
 }  // namespace frieda::sim

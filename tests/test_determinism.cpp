@@ -1,0 +1,102 @@
+// Determinism guard for the simulator substrate.
+//
+// The flow-class coalescing / slab event-queue fast path must not change
+// simulation semantics: a scenario run is a pure function of its inputs, and
+// two identical runs must produce bit-identical Timeline event sequences and
+// network traces (same event order, same timestamps).  These tests re-run
+// full scenarios inside one process and compare exactly — any nondeterminism
+// introduced into the event engine or the rate recomputation shows up here.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/timeline.hpp"
+#include "common/units.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "workload/scenarios.hpp"
+
+namespace frieda {
+namespace {
+
+void expect_identical(const Timeline& a, const Timeline& b) {
+  const auto& ia = a.intervals();
+  const auto& ib = b.intervals();
+  ASSERT_EQ(ia.size(), ib.size());
+  for (std::size_t i = 0; i < ia.size(); ++i) {
+    EXPECT_EQ(ia[i].kind, ib[i].kind) << "interval " << i;
+    // Bit-identical timestamps, not approximate: the fluid model must replay
+    // the exact same event sequence.
+    EXPECT_EQ(ia[i].start, ib[i].start) << "interval " << i;
+    EXPECT_EQ(ia[i].end, ib[i].end) << "interval " << i;
+    EXPECT_EQ(ia[i].label, ib[i].label) << "interval " << i;
+  }
+}
+
+TEST(Determinism, FullScenarioTimelineIsIdentical) {
+  workload::PaperScenarioOptions opt;
+  opt.scale = 0.2;
+  const auto first = workload::run_als(core::PlacementStrategy::kRealTime, opt);
+  const auto second = workload::run_als(core::PlacementStrategy::kRealTime, opt);
+  ASSERT_TRUE(first.all_completed());
+  expect_identical(first.timeline, second.timeline);
+  EXPECT_EQ(first.makespan(), second.makespan());
+  EXPECT_EQ(first.bytes_moved, second.bytes_moved);
+  EXPECT_EQ(first.transfers, second.transfers);
+}
+
+// One completed-transfer observation, captured with exact timestamps.
+struct TransferTrace {
+  net::NodeId src;
+  net::NodeId dst;
+  net::TransferStatus status;
+  Bytes transferred;
+  SimTime started;
+  SimTime finished;
+
+  bool operator==(const TransferTrace&) const = default;
+};
+
+std::vector<TransferTrace> run_network_scenario() {
+  sim::Simulation sim(17);
+  net::Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node("srv", gbps(1), gbps(1));
+  for (int i = 0; i < 12; ++i) topo.add_node("wrk", mbps(100), mbps(100));
+  net::Network netw(sim, std::move(topo), /*latency=*/1e-3);
+
+  std::vector<TransferTrace> trace;
+  netw.set_observer([&](net::NodeId src, net::NodeId dst, const net::TransferResult& r) {
+    trace.push_back({src, dst, r.status, r.transferred, r.started, r.finished});
+  });
+
+  // Mixed pairs and stream counts, arrivals spread over time, plus a node
+  // failure and restore mid-run to exercise abort + cache invalidation.
+  Rng rng(23);
+  for (int i = 0; i < 48; ++i) {
+    const auto src = static_cast<net::NodeId>(rng.index(4));
+    const auto dst = static_cast<net::NodeId>(4 + rng.index(12));
+    const unsigned streams = 1 + static_cast<unsigned>(rng.index(3));
+    const Bytes bytes = (1 + rng.index(4)) * MB;
+    const SimTime start = rng.uniform(0.0, 2.0);
+    sim.schedule_at(start, [&netw, &sim, src, dst, bytes, streams] {
+      sim.spawn([](net::Network& n, net::NodeId s, net::NodeId d, Bytes b,
+                   unsigned st) -> sim::Task<> {
+        (void)co_await n.transfer(s, d, b, st);
+      }(netw, src, dst, bytes, streams));
+    });
+  }
+  sim.schedule_at(1.0, [&netw] { netw.fail_node(7); });
+  sim.schedule_at(1.5, [&netw] { netw.restore_node(7); });
+  sim.run();
+  return trace;
+}
+
+TEST(Determinism, NetworkReplayWithFailuresIsIdentical) {
+  const auto first = run_network_scenario();
+  const auto second = run_network_scenario();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace frieda

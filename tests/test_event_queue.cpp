@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/error.hpp"
@@ -93,6 +94,54 @@ TEST(EventQueue, HandleOutlivesFiredEvent) {
   q.pop().second();
   EXPECT_FALSE(h.pending());
   q.cancel(h);  // safe after fire
+}
+
+TEST(EventQueue, ConstQueriesWork) {
+  EventQueue q;
+  auto a = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(a);  // leaves a tombstone at the heap top
+  const EventQueue& cq = q;
+  EXPECT_FALSE(cq.empty());
+  EXPECT_DOUBLE_EQ(cq.next_time(), 2.0);
+  EXPECT_EQ(cq.size(), 1u);
+}
+
+TEST(EventQueue, StaleHandleStaysDeadAfterSlotReuse) {
+  // Cancelling frees the pooled slot; a later push recycles it with a new
+  // generation, so the old handle must not resurrect.
+  EventQueue q;
+  auto old = q.push(1.0, [] {});
+  q.cancel(old);
+  auto fresh = q.push(3.0, [] {});  // reuses the freed slot
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  q.cancel(old);  // must not cancel the recycled event
+  EXPECT_TRUE(fresh.pending());
+  EXPECT_EQ(q.size(), 1u);
+  auto [t, fn] = q.pop();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_FALSE(fresh.pending());
+}
+
+TEST(EventQueue, SlabChurnKeepsDeterministicOrder) {
+  // Heavy push/cancel/pop churn (the network's cancel-and-reschedule
+  // pattern): ordering must remain (time, push sequence) FIFO throughout.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventQueue::Handle> cancelled;
+  for (int round = 0; round < 50; ++round) {
+    cancelled.push_back(q.push(1000.0, [] { FAIL() << "cancelled event fired"; }));
+    q.push(static_cast<double>(round % 7), [&order, round] { order.push_back(round); });
+    q.cancel(cancelled.back());
+  }
+  std::vector<int> expected;
+  for (int round = 0; round < 50; ++round) expected.push_back(round);
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](int a, int b) { return a % 7 < b % 7; });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, expected);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <tuple>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -114,6 +117,88 @@ TEST_P(FairShareProperty, InvariantsHold) {
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, FairShareProperty,
                          ::testing::Range<std::uint64_t>(0, 50));
+
+TEST(FairShareWeighted, SingleClassMatchesExpandedFlows) {
+  // Three identical flows over one 12-unit link, as one class of count 3.
+  const auto rates = max_min_fair_rates_weighted({12.0}, {{{0}, 3}});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 4.0);
+}
+
+TEST(FairShareWeighted, CountOnePathIsTheFlatSolver) {
+  const auto flat = max_min_fair_rates({10.0, 2.0}, {{{0, 1}}, {{0}}});
+  const auto weighted = max_min_fair_rates_weighted({10.0, 2.0}, {{{0, 1}, 1}, {{0}, 1}});
+  ASSERT_EQ(weighted.size(), 2u);
+  EXPECT_DOUBLE_EQ(weighted[0], flat[0]);
+  EXPECT_DOUBLE_EQ(weighted[1], flat[1]);
+}
+
+TEST(FairShareWeighted, ZeroCountClassThrows) {
+  EXPECT_THROW(max_min_fair_rates_weighted({1.0}, {{{0}, 0}}), FriedaError);
+}
+
+// Equivalence property: coalescing identical flows into counted classes must
+// give every member flow the same rate the flat per-flow solver computes,
+// including orphan flows (only unconstrained resources) and zero-residual
+// (zero-capacity) edges, and regardless of how class members interleave.
+class WeightedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedEquivalence, CoalescedRatesMatchFlatSolver) {
+  Rng rng(GetParam() * 7919 + 3);
+  const std::size_t nr = 1 + rng.index(6);
+  std::vector<Bandwidth> caps(nr);
+  for (auto& c : caps) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (roll < 0.15) {
+      c = 0.0;  // zero-residual edge: flows crossing it must get rate 0
+    } else if (roll < 0.3) {
+      c = std::numeric_limits<Bandwidth>::infinity();  // unconstrained
+    } else {
+      c = rng.uniform(1.0, 100.0);
+    }
+  }
+
+  const std::size_t nc = 1 + rng.index(5);
+  std::vector<WeightedFlowConstraints> classes(nc);
+  std::vector<FlowConstraints> flat;
+  std::vector<std::size_t> class_of_flat;
+  for (std::size_t c = 0; c < nc; ++c) {
+    const std::size_t k = 1 + rng.index(nr);
+    for (std::size_t j = 0; j < k; ++j) classes[c].resources.push_back(rng.index(nr));
+    classes[c].count = 1 + rng.index(6);
+    for (std::uint64_t m = 0; m < classes[c].count; ++m) {
+      flat.push_back({classes[c].resources});
+      class_of_flat.push_back(c);
+    }
+  }
+  // Interleave class members: the flat solver must not depend on member
+  // adjacency for the coalesced result to match.
+  for (std::size_t i = flat.size(); i > 1; --i) {
+    const std::size_t j = rng.index(i);
+    std::swap(flat[i - 1], flat[j]);
+    std::swap(class_of_flat[i - 1], class_of_flat[j]);
+  }
+
+  const auto flat_rates = max_min_fair_rates(caps, flat);
+  const auto class_rates = max_min_fair_rates_weighted(caps, classes);
+  ASSERT_EQ(class_rates.size(), nc);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat_rates[i], class_rates[class_of_flat[i]], 1e-9)
+        << "flow " << i << " of class " << class_of_flat[i];
+  }
+
+  // Feasibility of the coalesced allocation at full member counts.
+  std::vector<double> load(nr, 0.0);
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (std::size_t r : classes[c].resources) {
+      load[r] += class_rates[c] * static_cast<double>(classes[c].count);
+    }
+  }
+  for (std::size_t r = 0; r < nr; ++r) EXPECT_LE(load[r], caps[r] * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, WeightedEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 60));
 
 }  // namespace
 }  // namespace frieda::net

@@ -228,6 +228,88 @@ TEST(Network, ObserverSeesCompletedTransfers) {
   EXPECT_EQ(netw.transfers_started(), 2u);
 }
 
+TEST(Network, ObserverSeesEarlyFailures) {
+  // Failure before setup and failure during setup must both report through
+  // the observer and the accounting, just like failures after streams start.
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), /*latency=*/0.5);
+  int observed_failures = 0;
+  netw.set_observer([&](NodeId src, NodeId dst, const TransferResult& r) {
+    EXPECT_EQ(src, 0u);
+    EXPECT_EQ(dst, 1u);
+    EXPECT_EQ(r.status, TransferStatus::kFailed);
+    EXPECT_EQ(r.transferred, 0u);
+    ++observed_failures;
+  });
+
+  netw.fail_node(1);
+  TransferResult at_start;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, MB);  // endpoint already dead
+  }(netw, at_start));
+  sim.run();
+  EXPECT_EQ(observed_failures, 1);
+  EXPECT_NEAR(at_start.duration(), 0.0, 1e-12);
+
+  netw.restore_node(1);
+  TransferResult during_setup;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, MB);
+  }(netw, during_setup));
+  sim.schedule_in(0.25, [&] { netw.fail_node(1); });  // mid connection setup
+  sim.run();
+  EXPECT_EQ(observed_failures, 2);
+  EXPECT_EQ(during_setup.status, TransferStatus::kFailed);
+  EXPECT_EQ(during_setup.transferred, 0u);
+
+  EXPECT_EQ(netw.transfers_started(), 2u);
+  EXPECT_EQ(netw.total_bytes_moved(), 0u);
+  EXPECT_EQ(netw.traffic(0).bytes_sent, 0u);
+  EXPECT_EQ(netw.traffic(1).bytes_received, 0u);
+}
+
+TEST(Network, StreamsOfOnePairCoalesceIntoOneClass) {
+  sim::Simulation sim;
+  Network netw(sim, star(3, mbps(100)), 0.0);
+  for (NodeId dst = 1; dst <= 2; ++dst) {
+    sim.spawn([](Network& n, NodeId d) -> sim::Task<> {
+      (void)co_await n.transfer(0, d, 10 * MB, /*streams=*/4);
+    }(netw, dst));
+  }
+  sim.run_until(0.1);  // both transfers in flight
+  EXPECT_EQ(netw.active_flows(), 8u);       // 2 transfers x 4 streams
+  EXPECT_EQ(netw.active_flow_classes(), 2u);  // but only 2 (src,dst) classes
+  sim.run();
+  EXPECT_EQ(netw.total_bytes_moved(), 20 * MB);
+}
+
+TEST(Network, NicChangeAppliesToCachedConstraints) {
+  // set_nic bumps the topology version, which must invalidate the cached
+  // per-class constraint vectors and take effect on the next recompute.
+  sim::Simulation sim;
+  Network netw(sim, star(2, mbps(100)), 0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB);  // 10 s at 100 Mbps
+  }(netw, result));
+  sim.schedule_at(5.0, [&] {
+    netw.topology().set_nic(0, mbps(50), mbps(50));
+    netw.fail_node(1);  // force an immediate recompute...
+    netw.restore_node(1);
+  });
+  sim.run();
+  // This transfer dies at t=5 (fail_node aborts it); what matters here is
+  // that a follow-up transfer sees the new 50 Mbps NIC from its cached class.
+  EXPECT_EQ(result.status, TransferStatus::kFailed);
+  TransferResult second;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB);  // 20 s at 50 Mbps
+  }(netw, second));
+  sim.run();
+  EXPECT_TRUE(second.ok());
+  EXPECT_NEAR(second.duration(), 20.0, 1e-6);
+}
+
 TEST(Network, ManyConcurrentFlowsConserveBytes) {
   sim::Simulation sim;
   Network netw(sim, star(5, mbps(100)), 0.0);
