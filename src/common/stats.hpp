@@ -59,7 +59,10 @@ class SampleSet {
   /// Number of samples.
   std::size_t count() const { return samples_.size(); }
 
-  /// p in [0,100]; nearest-rank percentile. Throws on empty set.
+  /// p in [0,100]; linearly interpolated percentile over the sorted samples
+  /// (rank = p/100 * (n-1), fractional ranks interpolate between neighbors —
+  /// numpy's default).  p=0 is the minimum, p=100 the maximum.  Throws on an
+  /// empty set.
   double percentile(double p) const;
 
   /// Median (50th percentile).

@@ -50,21 +50,20 @@ SimTime Timeline::overlap_time(ActivityKind a, ActivityKind b) const {
   return busy_time(a) + busy_time(b) - union_length(std::move(both));
 }
 
-SimTime Timeline::first_start(ActivityKind kind) const {
-  SimTime best = 0.0;
-  bool found = false;
+std::optional<SimTime> Timeline::first_start(ActivityKind kind) const {
+  std::optional<SimTime> best;
   for (const auto& iv : intervals_) {
     if (iv.kind != kind) continue;
-    if (!found || iv.start < best) best = iv.start;
-    found = true;
+    if (!best || iv.start < *best) best = iv.start;
   }
   return best;
 }
 
-SimTime Timeline::last_end(ActivityKind kind) const {
-  SimTime best = 0.0;
+std::optional<SimTime> Timeline::last_end(ActivityKind kind) const {
+  std::optional<SimTime> best;
   for (const auto& iv : intervals_) {
-    if (iv.kind == kind) best = std::max(best, iv.end);
+    if (iv.kind != kind) continue;
+    if (!best || iv.end > *best) best = iv.end;
   }
   return best;
 }

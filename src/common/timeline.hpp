@@ -6,6 +6,7 @@
 // two overlapped (the real-time strategy's advantage).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,9 +44,11 @@ class Timeline {
   /// Length of time where both kinds are simultaneously active.
   SimTime overlap_time(ActivityKind a, ActivityKind b) const;
 
-  /// Earliest start / latest end over intervals of `kind` (0 when none).
-  SimTime first_start(ActivityKind kind) const;
-  SimTime last_end(ActivityKind kind) const;
+  /// Earliest start / latest end over intervals of `kind`; nullopt when the
+  /// timeline has no interval of that kind.  (A 0.0 sentinel would be
+  /// indistinguishable from an interval that genuinely starts at t=0.)
+  std::optional<SimTime> first_start(ActivityKind kind) const;
+  std::optional<SimTime> last_end(ActivityKind kind) const;
 
   /// Number of intervals of `kind`.
   std::size_t count(ActivityKind kind) const;

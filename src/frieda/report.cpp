@@ -5,6 +5,7 @@
 #include "common/csv.hpp"
 #include "common/string_util.hpp"
 #include "common/table.hpp"
+#include "obs/metrics.hpp"
 
 namespace frieda::core {
 
@@ -57,6 +58,29 @@ std::string RunReport::workers_csv() const {
                  w.isolated ? "1" : "0", w.drained ? "1" : "0"});
   }
   return csv.to_string();
+}
+
+void RunReport::fill_metrics(obs::MetricsRegistry& registry) const {
+  registry.gauge("run.makespan_s").set(makespan());
+  registry.gauge("run.staging_s").set(staging_seconds());
+  registry.gauge("run.transfer_busy_s").set(transfer_busy());
+  registry.gauge("run.compute_busy_s").set(compute_busy());
+  registry.gauge("run.overlap_s").set(overlap());
+  registry.gauge("run.units_total").set(static_cast<double>(units_total));
+  registry.gauge("run.units_completed").set(static_cast<double>(units_completed));
+  registry.gauge("run.units_failed").set(static_cast<double>(units_failed));
+  registry.gauge("run.units_unprocessed").set(static_cast<double>(units_unprocessed));
+  registry.gauge("run.bytes_moved").set(static_cast<double>(bytes_moved));
+  registry.gauge("run.transfers").set(static_cast<double>(transfers));
+  registry.gauge("run.workers_isolated").set(static_cast<double>(workers_isolated));
+  auto& attempts = registry.stats("run.unit_attempts");
+  auto& transfer = registry.stats("run.unit_transfer_s");
+  auto& exec = registry.stats("run.unit_exec_s");
+  for (const auto& rec : units) {
+    attempts.add(rec.attempts);
+    transfer.add(rec.transfer_seconds);
+    exec.add(rec.exec_seconds);
+  }
 }
 
 }  // namespace frieda::core

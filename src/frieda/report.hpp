@@ -14,6 +14,10 @@
 #include "common/units.hpp"
 #include "frieda/types.hpp"
 
+namespace frieda::obs {
+class MetricsRegistry;
+}  // namespace frieda::obs
+
 namespace frieda::core {
 
 /// Terminal state of one work unit.
@@ -106,6 +110,11 @@ struct RunReport {
   /// Per-worker summary as CSV text:
   /// worker,vm,slot,units_completed,busy_seconds,isolated,drained.
   std::string workers_csv() const;
+
+  /// Export the report's aggregates into `registry`: run.* gauges (makespan,
+  /// busy-time decomposition, unit outcome counts, traffic) plus per-unit
+  /// attempt/transfer/exec distributions as run.unit_* stats instruments.
+  void fill_metrics(obs::MetricsRegistry& registry) const;
 };
 
 }  // namespace frieda::core

@@ -6,6 +6,8 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "frieda/assignment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 
 namespace frieda::core {
@@ -60,6 +62,19 @@ FriedaRun::FriedaRun(cluster::VirtualCluster& cluster, const storage::FileCatalo
   });
   running_token_ =
       cluster_.on_running([this](cluster::VmId vm) { events_->try_send(EvVmRunning{vm}); });
+
+  tracer_ = options_.tracer;
+  if (tracer_) {
+    trace_born_.assign(units_.size(), 0.0);
+    trace_pending_.assign(units_.size(), 0.0);
+  }
+  if (options_.metrics) {
+    auto& m = *options_.metrics;
+    run_metrics_.requeues = &m.counter("run.requeues");
+    run_metrics_.evictions = &m.counter("run.evictions");
+    run_metrics_.isolations = &m.counter("run.isolations");
+    run_metrics_.master_crashes = &m.counter("run.master_crashes");
+  }
 }
 
 FriedaRun::~FriedaRun() {
@@ -69,6 +84,61 @@ FriedaRun::~FriedaRun() {
 
 unsigned FriedaRun::workers_per_vm(cluster::VmId vm) const {
   return options_.multicore ? cluster_.vm(vm).type().cores : 1u;
+}
+
+// ---------------------------------------------------------------------------
+// Observability taps (no-ops unless a tracer/registry was attached)
+// ---------------------------------------------------------------------------
+
+void FriedaRun::mark_pending(WorkUnitId unit) {
+  if (tracer_) trace_pending_[unit] = sim_.now();
+}
+
+void FriedaRun::trace_dispatched(WorkUnitId unit, WorkerId worker) {
+  if (!tracer_) return;
+  const auto& rec = unit_state_[unit];
+  obs::TraceEvent ev;
+  ev.name = "pending unit " + std::to_string(unit);
+  ev.cat = "pending";
+  ev.process = obs::kUnitTrack;
+  ev.track = static_cast<std::uint32_t>(unit);
+  ev.start = trace_pending_[unit];
+  ev.end = sim_.now();
+  ev.args = {{"attempt", std::to_string(rec.attempts)},
+             {"worker", std::to_string(worker)},
+             {"vm", std::to_string(workers_[worker]->vm)}};
+  tracer_->span(std::move(ev));
+}
+
+void FriedaRun::trace_terminal(const UnitRecord& rec) {
+  if (!tracer_) return;
+  obs::TraceEvent ev;
+  ev.name = "unit " + std::to_string(rec.unit);
+  ev.cat = "unit";
+  ev.process = obs::kUnitTrack;
+  ev.track = static_cast<std::uint32_t>(rec.unit);
+  ev.start = trace_born_[rec.unit];
+  ev.end = rec.finished;
+  ev.args = {{"status", to_string(rec.status)},
+             {"attempts", std::to_string(rec.attempts)}};
+  if (rec.attempts > 0) {
+    ev.args.push_back({"worker", std::to_string(rec.worker)});
+    ev.args.push_back({"vm", std::to_string(workers_[rec.worker]->vm)});
+  }
+  tracer_->span(std::move(ev));
+}
+
+void FriedaRun::trace_instant(const char* name, const char* cat,
+                              std::vector<std::pair<const char*, std::string>> args) {
+  if (!tracer_) return;
+  obs::TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.process = obs::kRunTrack;
+  ev.start = ev.end = sim_.now();
+  ev.args.reserve(args.size());
+  for (auto& [key, value] : args) ev.args.push_back({key, std::move(value)});
+  tracer_->instant(std::move(ev));
 }
 
 void FriedaRun::pre_place_all_inputs(const std::vector<cluster::VmId>& vms) {
@@ -157,6 +227,11 @@ void FriedaRun::crash_master(SimTime recovery_delay) {
   FRIEDA_CHECK(recovery_delay >= 0.0, "recovery delay must be >= 0");
   if (finished_ || master_down_) return;
   ++master_crashes_;
+  if (run_metrics_.master_crashes) run_metrics_.master_crashes->inc();
+  if (tracer_) {
+    trace_instant("master-crash", "protocol",
+                  {{"recovery_s", std::to_string(recovery_delay)}});
+  }
   master_down_ = true;
   ++master_epoch_;  // abandons every dispatch that was mid-staging
   master_recovered_ = std::make_unique<sim::Signal>(sim_);
@@ -178,6 +253,7 @@ void FriedaRun::recover_master() {
       force_requeue(rec.unit);
     }
   }
+  if (tracer_) trace_instant("master-recover", "protocol");
   FLOG(kInfo, "controller", "master recovered at t=" << sim_.now());
   master_recovered_->trigger();
   if (serving_) top_up_all();
@@ -193,6 +269,8 @@ void FriedaRun::force_requeue(WorkUnitId unit) {
   unpin_unit(unit);
   rec.status = UnitStatus::kPending;
   queue_.push_back(unit);
+  if (run_metrics_.requeues) run_metrics_.requeues->inc();
+  mark_pending(unit);
 }
 
 void FriedaRun::remove_vm(cluster::VmId vm) { events_->try_send(EvRemoveVm{vm}); }
@@ -333,13 +411,22 @@ sim::Task<> FriedaRun::master_main() {
 void FriedaRun::handle_control(const ControlMessage& msg) {
   if (const auto* start = std::get_if<StartMaster>(&msg)) {
     FRIEDA_CHECK(start->strategy == options_.strategy, "strategy mismatch");
+    if (tracer_) trace_instant("start-master", "protocol");
   } else if (std::get_if<SetPartitionInfo>(&msg)) {
     // Units were validated in the constructor; nothing further to do.
   } else if (std::get_if<ForkWorkers>(&msg)) {
     initialized_ = true;
+    if (tracer_) {
+      trace_instant("fork-workers", "protocol",
+                    {{"workers", std::to_string(workers_.size())}});
+    }
   } else if (const auto* iso = std::get_if<IsolateWorker>(&msg)) {
     isolate_worker(iso->worker);
   } else if (const auto* add = std::get_if<AddWorkers>(&msg)) {
+    if (tracer_) {
+      trace_instant("add-workers", "protocol",
+                    {{"workers", std::to_string(add->workers.size())}});
+    }
     for (const auto w : add->workers) {
       const auto vm = workers_[w]->vm;
       if (!node_ready_.count(vm)) {
@@ -436,6 +523,7 @@ void FriedaRun::top_up(WorkerId worker) {
     rec.dispatched = sim_.now();
     handed_[*unit] = 0;
     ++ws.unacked;
+    trace_dispatched(*unit, worker);
     sim_.spawn(dispatch(worker, *unit), "dispatch");
   }
   if (ws.unacked > 0 || all_terminal()) return;
@@ -525,6 +613,20 @@ sim::Task<> FriedaRun::dispatch(WorkerId worker, WorkUnitId unit) {
       --staging_active_[ws.vm];
       timeline_.record(ActivityKind::kTransfer, r.started, r.finished,
                        "input:" + catalog_.info(f).name);
+      if (tracer_) {
+        obs::TraceEvent ev;
+        ev.name = "stage " + catalog_.info(f).name;
+        ev.cat = "staging";
+        ev.process = obs::kWorkerTrack;
+        ev.track = static_cast<std::uint32_t>(worker);
+        ev.start = r.started;
+        ev.end = r.finished;
+        ev.args = {{"unit", std::to_string(unit)},
+                   {"file", catalog_.info(f).name},
+                   {"bytes", std::to_string(r.transferred)},
+                   {"ok", r.ok() ? "1" : "0"}};
+        tracer_->span(std::move(ev));
+      }
       transfer_s += r.duration();
       if (!r.ok()) {
         if (options_.track_disk_capacity) {
@@ -574,6 +676,7 @@ void FriedaRun::unit_terminal(WorkUnitId unit, UnitStatus status) {
   unpin_unit(unit);
   rec.status = status;
   rec.finished = sim_.now();
+  trace_terminal(rec);
   ++terminal_count_;
   if (all_terminal()) finish_all();
 }
@@ -591,6 +694,13 @@ void FriedaRun::unit_not_completed(WorkUnitId unit) {
     unpin_unit(unit);
     rec.status = UnitStatus::kPending;
     queue_.push_back(unit);
+    if (run_metrics_.requeues) run_metrics_.requeues->inc();
+    mark_pending(unit);
+    if (tracer_) {
+      trace_instant("requeue", "control",
+                    {{"unit", std::to_string(unit)},
+                     {"attempt", std::to_string(rec.attempts)}});
+    }
     top_up_all();
     return;
   }
@@ -602,6 +712,11 @@ void FriedaRun::isolate_worker(WorkerId worker) {
   if (ws.isolated || finished_) return;
   ws.isolated = true;
   ++isolated_count_;
+  if (run_metrics_.isolations) run_metrics_.isolations->inc();
+  if (tracer_) {
+    trace_instant("isolate-worker", "protocol",
+                  {{"worker", std::to_string(worker)}, {"vm", std::to_string(ws.vm)}});
+  }
   ws.inbox->close();  // a blocked worker wakes with nullopt and exits
 
   // Units in flight on this worker are lost with it.
@@ -618,6 +733,7 @@ void FriedaRun::isolate_worker(WorkerId worker) {
     if (unit_state_[u].status != UnitStatus::kPending) continue;
     if (options_.requeue_on_failure) {
       queue_.push_back(u);
+      mark_pending(u);
     } else {
       unit_terminal(u, UnitStatus::kUnprocessed);
       if (finished_) return;
@@ -637,11 +753,18 @@ void FriedaRun::drain_worker(WorkerId worker) {
     return;
   }
   ws.draining = true;
+  if (tracer_) {
+    trace_instant("drain-worker", "protocol",
+                  {{"worker", std::to_string(worker)}, {"vm", std::to_string(ws.vm)}});
+  }
   // The worker's remaining pre-assigned share is requeued for the others.
   std::deque<WorkUnitId> share;
   share.swap(ws.preassigned);
   for (const auto u : share) {
-    if (unit_state_[u].status == UnitStatus::kPending) queue_.push_back(u);
+    if (unit_state_[u].status == UnitStatus::kPending) {
+      queue_.push_back(u);
+      mark_pending(u);
+    }
   }
   if (serving_) {
     top_up(worker);  // releases the worker immediately when it is idle
@@ -694,6 +817,11 @@ bool FriedaRun::evict_one_replica(cluster::VmId vm) {
     replicas_.remove(file, node);
     cluster_.vm(vm).disk().release(catalog_.info(file).size);
     order.erase(it);
+    if (run_metrics_.evictions) run_metrics_.evictions->inc();
+    if (tracer_) {
+      trace_instant("evict", "control", {{"file", catalog_.info(file).name},
+                                         {"vm", std::to_string(vm)}});
+    }
     return true;
   }
   return false;
@@ -736,6 +864,7 @@ void FriedaRun::invalidate_unstaged_preassignments() {
       } else if (unit_state_[u].status == UnitStatus::kPending) {
         if (options_.requeue_on_failure) {
           queue_.push_back(u);  // another worker can stage and run it
+          mark_pending(u);
         } else {
           unit_terminal(u, UnitStatus::kUnprocessed);
           if (finished_) return;
@@ -798,6 +927,17 @@ sim::Task<> FriedaRun::stage_common_data(cluster::VmId vm) {
   const auto r = co_await cluster_.network().transfer(cluster_.source_node(), node, common,
                                                       options_.transfer_streams);
   timeline_.record(ActivityKind::kTransfer, r.started, r.finished, "common-data");
+  if (tracer_) {
+    obs::TraceEvent ev;
+    ev.name = "stage-common";
+    ev.cat = "staging";
+    ev.process = obs::kRunTrack;
+    ev.track = static_cast<std::uint32_t>(vm);
+    ev.start = r.started;
+    ev.end = r.finished;
+    ev.args = {{"vm", std::to_string(vm)}, {"bytes", std::to_string(r.transferred)}};
+    tracer_->span(std::move(ev));
+  }
   ready.trigger();
 }
 
@@ -822,6 +962,20 @@ sim::Task<> FriedaRun::stage_files_to_node(cluster::VmId vm, std::vector<storage
         *src, node, catalog_.info(f).size, options_.transfer_streams);
     timeline_.record(ActivityKind::kTransfer, r.started, r.finished,
                      "stage:" + catalog_.info(f).name);
+    if (tracer_) {
+      obs::TraceEvent ev;
+      ev.name = "stage-node " + catalog_.info(f).name;
+      ev.cat = "staging";
+      ev.process = obs::kRunTrack;
+      ev.track = static_cast<std::uint32_t>(vm);
+      ev.start = r.started;
+      ev.end = r.finished;
+      ev.args = {{"vm", std::to_string(vm)},
+                 {"file", catalog_.info(f).name},
+                 {"bytes", std::to_string(r.transferred)},
+                 {"ok", r.ok() ? "1" : "0"}};
+      tracer_->span(std::move(ev));
+    }
     if (!r.ok()) {
       if (options_.track_disk_capacity) cluster_.vm(vm).disk().release(catalog_.info(f).size);
       co_return;  // node died; isolation handles the fallout
@@ -832,6 +986,10 @@ sim::Task<> FriedaRun::stage_files_to_node(cluster::VmId vm, std::vector<storage
 }
 
 sim::Task<> FriedaRun::staging() {
+  if (tracer_) {
+    trace_born_.assign(units_.size(), sim_.now());
+    trace_pending_ = trace_born_;
+  }
   const bool pre_mode = options_.strategy == PlacementStrategy::kNoPartitionCommon ||
                         options_.strategy == PlacementStrategy::kPrePartitionLocal ||
                         options_.strategy == PlacementStrategy::kPrePartitionRemote;
@@ -950,6 +1108,20 @@ sim::Task<> FriedaRun::worker_main(WorkerId id) {
             *src, vm.node(), catalog_.info(f).size, options_.transfer_streams);
         timeline_.record(ActivityKind::kTransfer, r.started, r.finished,
                          "remote-read:" + catalog_.info(f).name);
+        if (tracer_) {
+          obs::TraceEvent ev;
+          ev.name = "remote-read " + catalog_.info(f).name;
+          ev.cat = "staging";
+          ev.process = obs::kWorkerTrack;
+          ev.track = static_cast<std::uint32_t>(id);
+          ev.start = r.started;
+          ev.end = r.finished;
+          ev.args = {{"unit", std::to_string(work.unit.id)},
+                     {"file", catalog_.info(f).name},
+                     {"bytes", std::to_string(r.transferred)},
+                     {"ok", r.ok() ? "1" : "0"}};
+          tracer_->span(std::move(ev));
+        }
         transfer_s += r.duration();
         if (!r.ok()) {
           read_ok = false;
@@ -968,6 +1140,19 @@ sim::Task<> FriedaRun::worker_main(WorkerId id) {
     const auto result = co_await vm.compute(cost);
     timeline_.record(ActivityKind::kCompute, sim_.now() - result.duration, sim_.now(),
                      app_.name());
+    if (tracer_) {
+      obs::TraceEvent ev;
+      ev.name = "exec unit " + std::to_string(work.unit.id);
+      ev.cat = "exec";
+      ev.process = obs::kWorkerTrack;
+      ev.track = static_cast<std::uint32_t>(id);
+      ev.start = sim_.now() - result.duration;
+      ev.end = sim_.now();
+      ev.args = {{"unit", std::to_string(work.unit.id)},
+                 {"vm", std::to_string(ws.vm)},
+                 {"completed", result.completed ? "1" : "0"}};
+      tracer_->span(std::move(ev));
+    }
     if (!result.completed) co_return;  // interrupted by VM failure
 
     bool io_ok = true;
@@ -998,6 +1183,8 @@ RunReport FriedaRun::run() {
   ran_ = true;
   bytes_baseline_ = cluster_.network().total_bytes_moved();
   transfers_baseline_ = cluster_.network().transfers_started();
+  cluster_.network().set_tracer(tracer_);
+  cluster_.network().set_metrics(options_.metrics);
 
   sim_.spawn(master_main(), "master");
   sim_.spawn(controller_main(), "controller");
@@ -1037,6 +1224,21 @@ RunReport FriedaRun::run() {
   report.transfers = cluster_.network().transfers_started() - transfers_baseline_;
   report.workers_isolated = isolated_count_;
   report.timeline = timeline_;
+
+  if (options_.metrics) {
+    // Kernel activity snapshot for the run's report; a shared registry across
+    // sequential runs keeps the last run's snapshot (counters keep summing).
+    auto& m = *options_.metrics;
+    const auto& qc = sim_.event_counters();
+    m.gauge("sim.events_scheduled").set(static_cast<double>(qc.scheduled));
+    m.gauge("sim.events_cancelled").set(static_cast<double>(qc.cancelled));
+    m.gauge("sim.events_fired").set(static_cast<double>(qc.fired));
+    m.gauge("sim.event_slots_reused").set(static_cast<double>(qc.slots_reused));
+  }
+  // Detach: the tracer/registry may not outlive this run, but the cluster's
+  // network does.
+  cluster_.network().set_tracer(nullptr);
+  cluster_.network().set_metrics(nullptr);
   return report;
 }
 

@@ -40,6 +40,12 @@
 #include "sim/channel.hpp"
 #include "storage/file.hpp"
 
+namespace frieda::obs {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}  // namespace frieda::obs
+
 namespace frieda::core {
 
 /// Per-run configuration (the controller's directives).
@@ -77,6 +83,13 @@ struct RunOptions {
                                       ///< across worker VMs (workflows) —
                                       ///< seed their locations with
                                       ///< seed_replica() before run()
+  obs::Tracer* tracer = nullptr;      ///< opt-in structured tracing (unit
+                                      ///< lifecycle, staging/exec, network
+                                      ///< flows, protocol events); nullptr =
+                                      ///< off, zero cost on the hot path
+  obs::MetricsRegistry* metrics = nullptr;  ///< opt-in named counters
+                                      ///< (requeues, evictions, solver
+                                      ///< invocations, ...); nullptr = off
 };
 
 /// One configured execution; see file comment for the protocol walk-through.
@@ -205,6 +218,17 @@ class FriedaRun {
   void fork_workers_on(cluster::VmId vm, std::vector<WorkerId>& out);
   unsigned workers_per_vm(cluster::VmId vm) const;
 
+  // ---- observability taps (all no-ops when tracing/metrics are off) ----
+  /// Remember when `unit` (re)entered a queue, for its pending span.
+  void mark_pending(WorkUnitId unit);
+  /// Emit the pending span that ends with this dispatch.
+  void trace_dispatched(WorkUnitId unit, WorkerId worker);
+  /// Emit the unit's lifecycle span on reaching a terminal state.
+  void trace_terminal(const UnitRecord& rec);
+  /// Emit a protocol/control instant at sim-now on the run track.
+  void trace_instant(const char* name, const char* cat,
+                     std::vector<std::pair<const char*, std::string>> args = {});
+
   // ---- fixed inputs ----
   cluster::VirtualCluster& cluster_;
   sim::Simulation& sim_;
@@ -259,6 +283,19 @@ class FriedaRun {
 
   Bytes bytes_baseline_ = 0;
   std::uint64_t transfers_baseline_ = 0;
+
+  // Observability state: tracer_ mirrors options_.tracer (hot-path guard),
+  // the counters are resolved once from options_.metrics in the constructor,
+  // and the per-unit timestamps back the pending/unit lifecycle spans.
+  obs::Tracer* tracer_ = nullptr;
+  struct {
+    obs::Counter* requeues = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* isolations = nullptr;
+    obs::Counter* master_crashes = nullptr;
+  } run_metrics_;
+  std::vector<SimTime> trace_born_;     ///< first enqueue time per unit
+  std::vector<SimTime> trace_pending_;  ///< latest (re)enqueue time per unit
 };
 
 }  // namespace frieda::core

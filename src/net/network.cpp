@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace frieda::net {
 
@@ -42,11 +44,47 @@ Network::Network(sim::Simulation& sim, Topology topology, SimTime latency, Bandw
   FRIEDA_CHECK(loopback_ > 0.0, "loopback bandwidth must be > 0");
 }
 
-void Network::finish_transfer(NodeId src, NodeId dst, TransferResult& result) {
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.solver_invocations = &registry->counter("net.solver_invocations");
+  metrics_.flows_coalesced = &registry->counter("net.flows_coalesced");
+  metrics_.bytes_moved = &registry->counter("net.bytes_moved");
+  metrics_.transfers = &registry->counter("net.transfers");
+  metrics_.transfers_failed = &registry->counter("net.transfers_failed");
+}
+
+void Network::finish_transfer(NodeId src, NodeId dst, TransferResult& result,
+                              std::uint64_t solves_at_start) {
   result.finished = sim_.now();
   traffic_[src].bytes_sent += result.transferred;
   traffic_[dst].bytes_received += result.transferred;
   total_bytes_moved_ += result.transferred;
+  if (metrics_.transfers) {
+    metrics_.transfers->inc();
+    metrics_.bytes_moved->inc(result.transferred);
+    if (!result.ok()) metrics_.transfers_failed->inc();
+  }
+  if (tracer_) {
+    const double dur = result.duration();
+    obs::TraceEvent ev;
+    ev.name = "xfer " + std::to_string(src) + "->" + std::to_string(dst);
+    ev.cat = "flow";
+    ev.process = obs::kNetworkTrack;
+    ev.track = dst;
+    ev.start = result.started;
+    ev.end = result.finished;
+    ev.args = {{"bytes", std::to_string(result.transferred)},
+               {"requested", std::to_string(result.requested)},
+               {"rate_bps", std::to_string(dur > 0.0
+                                ? static_cast<double>(result.transferred) / dur
+                                : 0.0)},
+               {"recomputes", std::to_string(solves_ - solves_at_start)},
+               {"status", result.ok() ? "ok" : "failed"}};
+    tracer_->span(std::move(ev));
+  }
   if (observer_) observer_(src, dst, result);
 }
 
@@ -106,13 +144,14 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                "transfer endpoints out of range");
   FRIEDA_CHECK(streams >= 1, "transfer needs at least one stream");
   ++transfers_started_;
+  const std::uint64_t solves_at_start = solves_;
   TransferResult result;
   result.requested = bytes;
   result.started = sim_.now();
 
   if (node_failed(src) || node_failed(dst)) {
     result.status = TransferStatus::kFailed;
-    finish_transfer(src, dst, result);
+    finish_transfer(src, dst, result, solves_at_start);
     co_return result;
   }
   // Each stream pays connection setup; streams are established sequentially
@@ -120,11 +159,11 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
   if (latency_ > 0.0) co_await sim_.delay(latency_ * streams);
   if (node_failed(src) || node_failed(dst)) {  // failed during setup
     result.status = TransferStatus::kFailed;
-    finish_transfer(src, dst, result);
+    finish_transfer(src, dst, result, solves_at_start);
     co_return result;
   }
   if (bytes == 0) {
-    finish_transfer(src, dst, result);
+    finish_transfer(src, dst, result, solves_at_start);
     co_return result;
   }
 
@@ -161,7 +200,7 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
                               ? flow->requested
                               : static_cast<Bytes>(moved + 0.5);
   }
-  finish_transfer(src, dst, result);
+  finish_transfer(src, dst, result, solves_at_start);
   co_return result;
 }
 
@@ -238,6 +277,11 @@ void Network::recompute_rates() {
     wc.count = cls.live;
   }
 
+  ++solves_;
+  if (metrics_.solver_invocations) {
+    metrics_.solver_invocations->inc();
+    metrics_.flows_coalesced->inc(flows_.size() - nc);
+  }
   max_min_fair_rates_weighted(dense_caps_, solver_classes_.data(), nc, fair_scratch_,
                               class_rates_);
 

@@ -35,6 +35,12 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 
+namespace frieda::obs {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}  // namespace frieda::obs
+
 namespace frieda::net {
 
 /// Terminal status of a transfer.
@@ -122,6 +128,19 @@ class Network {
     observer_ = std::move(obs);
   }
 
+  /// Attach a tracer for per-transfer flow spans (bytes, achieved rate,
+  /// solver recompute count).  nullptr (the default) disables tracing; the
+  /// hot path then only pays a pointer test.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attach a metrics registry; the network's counters (net.solver_invocations,
+  /// net.flows_coalesced, net.bytes_moved, net.transfers, net.transfers_failed)
+  /// are resolved once here and incremented by cached pointer afterwards.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Fluid-solver invocations so far (rate recomputes over active flows).
+  std::uint64_t solver_invocations() const { return solves_; }
+
  private:
   struct Flow {
     NodeId src = 0;
@@ -153,7 +172,10 @@ class Network {
   void advance_flows();    // progress remaining bytes to sim.now()
   void recompute_rates();  // solve max-min and reschedule completion event
   void complete_flow(const FlowPtr& flow, TransferStatus status);
-  void finish_transfer(NodeId src, NodeId dst, TransferResult& result);
+  /// Close out a transfer on any exit path; `solves_at_start` dates the
+  /// transfer's entry for the trace span's recompute count.
+  void finish_transfer(NodeId src, NodeId dst, TransferResult& result,
+                       std::uint64_t solves_at_start);
 
   /// Invalidation stamp: changes whenever the topology mutates or a node
   /// fails / is restored.
@@ -198,7 +220,18 @@ class Network {
   std::unordered_map<NodeId, NodeTraffic> traffic_;
   Bytes total_bytes_moved_ = 0;
   std::uint64_t transfers_started_ = 0;
+  std::uint64_t solves_ = 0;  ///< fluid-solver invocations (always counted)
   std::function<void(NodeId, NodeId, const TransferResult&)> observer_;
+
+  // ---- observability taps (null = disabled; see docs/observability.md) ----
+  obs::Tracer* tracer_ = nullptr;
+  struct {
+    obs::Counter* solver_invocations = nullptr;
+    obs::Counter* flows_coalesced = nullptr;
+    obs::Counter* bytes_moved = nullptr;
+    obs::Counter* transfers = nullptr;
+    obs::Counter* transfers_failed = nullptr;
+  } metrics_;
 };
 
 }  // namespace frieda::net

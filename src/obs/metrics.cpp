@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace frieda::obs {
+
+namespace {
+
+/// Format a double without trailing-zero noise (counters stay integral).
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = instruments_[name];
+  if (!slot.counter) {
+    FRIEDA_CHECK(!slot.gauge && !slot.stats && !slot.histogram,
+                 "metric '" << name << "' already registered with another kind");
+    slot.counter = std::make_unique<Counter>();
+  }
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = instruments_[name];
+  if (!slot.gauge) {
+    FRIEDA_CHECK(!slot.counter && !slot.stats && !slot.histogram,
+                 "metric '" << name << "' already registered with another kind");
+    slot.gauge = std::make_unique<Gauge>();
+  }
+  return *slot.gauge;
+}
+
+RunningStats& MetricsRegistry::stats(const std::string& name) {
+  auto& slot = instruments_[name];
+  if (!slot.stats) {
+    FRIEDA_CHECK(!slot.counter && !slot.gauge && !slot.histogram,
+                 "metric '" << name << "' already registered with another kind");
+    slot.stats = std::make_unique<RunningStats>();
+  }
+  return *slot.stats;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
+                                      std::size_t bins) {
+  auto& slot = instruments_[name];
+  if (!slot.histogram) {
+    FRIEDA_CHECK(!slot.counter && !slot.gauge && !slot.stats,
+                 "metric '" << name << "' already registered with another kind");
+    slot.histogram = std::make_unique<Histogram>(lo, hi, bins);
+  }
+  return *slot.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.gauge.get();
+}
+
+const RunningStats* MetricsRegistry::find_stats(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.stats.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  const auto it = instruments_.find(name);
+  return it == instruments_.end() ? nullptr : it->second.histogram.get();
+}
+
+std::string MetricsRegistry::csv() const {
+  std::ostringstream os;
+  os << "name,kind,value\n";
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.counter) {
+      os << name << ",counter," << inst.counter->value() << "\n";
+    } else if (inst.gauge) {
+      os << name << ",gauge," << num(inst.gauge->value()) << "\n";
+    } else if (inst.stats) {
+      const auto& s = *inst.stats;
+      os << name << ".count,stats," << s.count() << "\n";
+      os << name << ".mean,stats," << num(s.mean()) << "\n";
+      os << name << ".min,stats," << num(s.count() ? s.min() : 0.0) << "\n";
+      os << name << ".max,stats," << num(s.count() ? s.max() : 0.0) << "\n";
+      os << name << ".sum,stats," << num(s.sum()) << "\n";
+    } else if (inst.histogram) {
+      const auto& h = *inst.histogram;
+      for (std::size_t i = 0; i < h.buckets(); ++i) {
+        os << name << ".bucket_" << i << ",histogram," << h.bucket(i) << "\n";
+      }
+      os << name << ".total,histogram," << h.total() << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, inst] : instruments_) {
+    if (inst.counter) {
+      os << name << " = " << inst.counter->value() << "\n";
+    } else if (inst.gauge) {
+      os << name << " = " << num(inst.gauge->value()) << "\n";
+    } else if (inst.stats) {
+      const auto& s = *inst.stats;
+      os << name << " = n=" << s.count() << " mean=" << num(s.mean())
+         << " min=" << num(s.count() ? s.min() : 0.0)
+         << " max=" << num(s.count() ? s.max() : 0.0) << "\n";
+    } else if (inst.histogram) {
+      os << name << " = histogram(" << inst.histogram->total() << " samples)\n";
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  FRIEDA_CHECK(out.good(), "cannot open metrics file '" << path << "'");
+  out << csv();
+  FRIEDA_CHECK(out.good(), "write to metrics file '" << path << "' failed");
+}
+
+}  // namespace frieda::obs

@@ -1,0 +1,190 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace frieda::obs {
+
+namespace {
+
+/// JSON string escaping for names, categories, and argument values.
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  append_json_escaped(out, s);
+  out += "\"";
+  return out;
+}
+
+/// Seconds -> integer microseconds (the trace-event timestamp unit).
+long long micros(double seconds) {
+  return static_cast<long long>(seconds * 1e6 + 0.5);
+}
+
+const char* process_name(std::uint32_t pid) {
+  switch (pid) {
+    case kRunTrack: return "run";
+    case kWorkerTrack: return "workers";
+    case kUnitTrack: return "units";
+    case kNetworkTrack: return "network";
+  }
+  return "other";
+}
+
+/// CSV field quoting per RFC 4180 (only when the field needs it).
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+void Tracer::span(TraceEvent ev) {
+  ev.kind = TraceEvent::Kind::kSpan;
+  if (ev.end < ev.start) ev.end = ev.start;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::instant(TraceEvent ev) {
+  ev.kind = TraceEvent::Kind::kInstant;
+  ev.end = ev.start;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t Tracer::span_count(const std::string& cat) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& ev : events_) {
+    n += ev.kind == TraceEvent::Kind::kSpan && ev.cat == cat;
+  }
+  return n;
+}
+
+std::string Tracer::chrome_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+
+  // Name the track groups so Perfetto shows "units"/"workers"/... headers.
+  std::uint32_t seen_mask = 0;
+  for (const auto& ev : events_) {
+    if (ev.process == 0 || ev.process > 31 || (seen_mask & (1u << ev.process))) continue;
+    seen_mask |= 1u << ev.process;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(ev.process);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    out += json_quote(process_name(ev.process));
+    out += "}}";
+  }
+
+  for (const auto& ev : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":";
+    out += json_quote(ev.name);
+    out += ",\"cat\":";
+    out += json_quote(ev.cat);
+    out += ",\"pid\":";
+    out += std::to_string(ev.process);
+    out += ",\"tid\":";
+    out += std::to_string(ev.track);
+    out += ",\"ts\":";
+    out += std::to_string(micros(ev.start));
+    if (ev.kind == TraceEvent::Kind::kSpan) {
+      out += ",\"ph\":\"X\",\"dur\":";
+      out += std::to_string(micros(ev.end) - micros(ev.start));
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    if (!ev.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i) out += ",";
+        out += json_quote(ev.args[i].key);
+        out += ":";
+        out += json_quote(ev.args[i].value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "kind,name,cat,process,track,start_s,end_s,dur_s,args\n";
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  for (const auto& ev : events_) {
+    std::string args;
+    for (std::size_t i = 0; i < ev.args.size(); ++i) {
+      if (i) args += ";";
+      args += ev.args[i].key + "=" + ev.args[i].value;
+    }
+    os << (ev.kind == TraceEvent::Kind::kSpan ? "span" : "instant") << ","
+       << csv_field(ev.name) << "," << csv_field(ev.cat) << "," << ev.process << ","
+       << ev.track << "," << ev.start << "," << ev.end << "," << (ev.end - ev.start) << ","
+       << csv_field(args) << "\n";
+  }
+  return os.str();
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  FRIEDA_CHECK(out.good(), "cannot open trace file '" << path << "'");
+  out << chrome_json();
+  FRIEDA_CHECK(out.good(), "write to trace file '" << path << "' failed");
+}
+
+void Tracer::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  FRIEDA_CHECK(out.good(), "cannot open trace file '" << path << "'");
+  out << csv();
+  FRIEDA_CHECK(out.good(), "write to trace file '" << path << "' failed");
+}
+
+}  // namespace frieda::obs

@@ -1,0 +1,88 @@
+// Structured run tracing: per-work-unit lifecycle spans, per-flow network
+// spans, and controller/master protocol events, exportable as Chrome
+// trace-event JSON (chrome://tracing, Perfetto) or a flat CSV.
+//
+// Design rules (see docs/observability.md):
+//   * Opt-in.  Components hold a `Tracer*` that defaults to nullptr; every
+//     tap site is guarded by that pointer, so a disabled tracer costs one
+//     predictable branch and performs no string formatting on the hot path.
+//   * Timestamps are plain doubles in seconds: simulation time for FriedaRun
+//     traces, wall time since run start for RtEngine traces.  The exporters
+//     convert to microseconds (the trace-event unit).
+//   * Thread-safe: the threaded runtime records from worker threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace frieda::obs {
+
+/// Well-known process ids ("pid" in the trace-event format) used to group
+/// tracks.  Within a process, spans on the same track (tid) nest visually.
+enum TrackGroup : std::uint32_t {
+  kRunTrack = 1,      ///< controller/master protocol events and run phases
+  kWorkerTrack = 2,   ///< per-worker staging/execution spans (tid = worker id)
+  kUnitTrack = 3,     ///< per-unit lifecycle spans (tid = unit id)
+  kNetworkTrack = 4,  ///< per-transfer flow spans (tid = destination node)
+};
+
+/// One key/value annotation on an event ("args" in the trace-event format).
+struct TraceArg {
+  std::string key;
+  std::string value;
+};
+
+/// One recorded event: a [start, end) span, or an instant when end == start.
+struct TraceEvent {
+  enum class Kind { kSpan, kInstant };
+  Kind kind = Kind::kSpan;
+  std::string name;
+  std::string cat;                    ///< category: "unit", "pending",
+                                      ///< "staging", "exec", "flow",
+                                      ///< "protocol", "control"
+  std::uint32_t process = kRunTrack;  ///< track group (see TrackGroup)
+  std::uint32_t track = 0;            ///< lane within the group
+  double start = 0.0;                 ///< seconds
+  double end = 0.0;                   ///< seconds; == start for instants
+  std::vector<TraceArg> args;
+};
+
+/// Append-only event recorder with Chrome trace-event and CSV exporters.
+class Tracer {
+ public:
+  /// Record a completed [start, end) span.
+  void span(TraceEvent ev);
+
+  /// Record an instantaneous event at `ev.start` (`end` is ignored).
+  void instant(TraceEvent ev);
+
+  /// Snapshot of every recorded event, in insertion order.
+  std::vector<TraceEvent> events() const;
+
+  /// Total number of recorded events (spans + instants).
+  std::size_t event_count() const;
+
+  /// Number of recorded span events with category `cat`.
+  std::size_t span_count(const std::string& cat) const;
+
+  /// Serialize as Chrome trace-event JSON ("traceEvents" array of complete
+  /// "X" spans and "i" instants, microsecond timestamps, plus process-name
+  /// metadata), loadable in chrome://tracing and Perfetto.
+  std::string chrome_json() const;
+
+  /// Serialize as a flat CSV, one row per recorded event:
+  /// kind,name,cat,process,track,start_s,end_s,dur_s,args ("k=v;k=v").
+  std::string csv() const;
+
+  /// Write chrome_json() / csv() to a file (throws FriedaError on failure).
+  void write_chrome_json(const std::string& path) const;
+  void write_csv(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace frieda::obs

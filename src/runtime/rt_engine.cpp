@@ -13,6 +13,8 @@
 #include "common/rng.hpp"
 #include "frieda/assignment.hpp"
 #include "frieda/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/token_bucket.hpp"
 
@@ -106,13 +108,15 @@ RtEngine::RtEngine(std::string source_dir, RtOptions options)
 
 RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTemplate& command,
                        TaskExecutor executor) {
-  FRIEDA_CHECK(!units.empty(), "run needs at least one work unit");
+  // A zero-unit run is legal: the farm spins up, finds nothing to do, and
+  // reports vacuous success (all_completed() == true).
   FRIEDA_CHECK(static_cast<bool>(executor), "executor must be callable");
   for (const auto& u : units) {
     FRIEDA_CHECK(command.accepts(u), "command arity does not match unit " << u.id);
   }
 
   const auto t0 = Clock::now();
+  obs::Tracer* const tracer = options_.tracer;
   const std::size_t n_workers = options_.worker_count;
   const bool local = options_.strategy == core::PlacementStrategy::kPrePartitionLocal;
   const bool realtime = options_.strategy == core::PlacementStrategy::kRealTime;
@@ -172,6 +176,7 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
         if (std::holds_alternative<core::NoMoreWork>(*msg)) break;
         const auto& work = std::get<core::AssignWork>(*msg);
 
+        const double unit_start = seconds_since(t0);
         double transfer_seconds = 0.0;
         double exec_seconds = 0.0;
         bool ok = false;
@@ -194,6 +199,29 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
         } catch (const std::exception& e) {
           FLOG(kWarn, "rt-worker", "unit " << work.unit.id << " failed: " << e.what());
           ok = false;
+        }
+        if (tracer) {
+          const double end_s = seconds_since(t0);
+          if (transfer_seconds > 0.0) {
+            obs::TraceEvent stage;
+            stage.name = "stage unit " + std::to_string(work.unit.id);
+            stage.cat = "staging";
+            stage.process = obs::kWorkerTrack;
+            stage.track = static_cast<std::uint32_t>(w);
+            stage.start = unit_start;
+            stage.end = unit_start + transfer_seconds;
+            stage.args = {{"unit", std::to_string(work.unit.id)}};
+            tracer->span(std::move(stage));
+          }
+          obs::TraceEvent exec;
+          exec.name = "exec unit " + std::to_string(work.unit.id);
+          exec.cat = "exec";
+          exec.process = obs::kWorkerTrack;
+          exec.track = static_cast<std::uint32_t>(w);
+          exec.start = end_s - exec_seconds;
+          exec.end = end_s;
+          exec.args = {{"unit", std::to_string(work.unit.id)}, {"ok", ok ? "1" : "0"}};
+          tracer->span(std::move(exec));
         }
         master_inbox.push(core::ExecStatus{static_cast<core::WorkerId>(w), work.unit.id, ok,
                                            transfer_seconds, exec_seconds});
@@ -224,6 +252,8 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     }
   }
 
+  std::vector<double> dispatched_at(tracer ? units.size() : 0, 0.0);
+
   const auto dispatch = [&](std::size_t w) {
     core::WorkUnitId unit;
     if (realtime) {
@@ -235,6 +265,7 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
       unit = preassigned[w].front();
       preassigned[w].pop_front();
     }
+    if (tracer) dispatched_at[unit] = seconds_since(t0);
     core::AssignWork work;
     work.unit = units[unit];
     work.command = command.bind_unit(units[unit], catalog_,
@@ -250,13 +281,35 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     if (!released[w]) {
       worker_inboxes[w]->push(core::NoMoreWork{});
       released[w] = true;
+      if (tracer) {
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEvent::Kind::kInstant;
+        ev.name = "release-worker";
+        ev.cat = "protocol";
+        ev.process = obs::kRunTrack;
+        ev.start = ev.end = seconds_since(t0);
+        ev.args = {{"worker", std::to_string(w)}};
+        tracer->instant(std::move(ev));
+      }
     }
   };
 
   while (terminal < units.size()) {
     const auto msg = master_inbox.pop();
     FRIEDA_CHECK(msg.has_value(), "master inbox closed unexpectedly");
-    if (std::holds_alternative<core::RegisterWorker>(*msg)) continue;
+    if (const auto* reg = std::get_if<core::RegisterWorker>(&*msg)) {
+      if (tracer) {
+        obs::TraceEvent ev;
+        ev.kind = obs::TraceEvent::Kind::kInstant;
+        ev.name = "register-worker";
+        ev.cat = "protocol";
+        ev.process = obs::kRunTrack;
+        ev.start = ev.end = seconds_since(t0);
+        ev.args = {{"worker", std::to_string(reg->worker)}};
+        tracer->instant(std::move(ev));
+      }
+      continue;
+    }
     if (const auto* req = std::get_if<core::RequestWork>(&*msg)) {
       if (!dispatch(req->worker)) release(req->worker);
       continue;
@@ -275,6 +328,18 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     } else {
       ++report.units_failed;
     }
+    if (tracer) {
+      obs::TraceEvent ev;
+      ev.name = "unit " + std::to_string(status.unit);
+      ev.cat = "unit";
+      ev.process = obs::kUnitTrack;
+      ev.track = static_cast<std::uint32_t>(status.unit);
+      ev.start = dispatched_at[status.unit];
+      ev.end = seconds_since(t0);
+      ev.args = {{"worker", std::to_string(status.worker)},
+                 {"ok", status.ok ? "1" : "0"}};
+      tracer->span(std::move(ev));
+    }
     if (!dispatch(status.worker)) release(status.worker);
   }
   for (std::size_t w = 0; w < n_workers; ++w) release(w);
@@ -288,6 +353,21 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     for (const auto& dir : worker_dirs) fs::remove_all(dir, ec);
   }
   return report;
+}
+
+void RtReport::fill_metrics(obs::MetricsRegistry& registry) const {
+  registry.gauge("rt.makespan_s").set(makespan);
+  registry.gauge("rt.staging_s").set(staging_seconds);
+  registry.gauge("rt.units_total").set(static_cast<double>(units.size()));
+  registry.gauge("rt.units_completed").set(static_cast<double>(units_completed));
+  registry.gauge("rt.units_failed").set(static_cast<double>(units_failed));
+  registry.gauge("rt.bytes_staged").set(static_cast<double>(bytes_staged));
+  auto& transfer = registry.stats("rt.unit_transfer_s");
+  auto& exec = registry.stats("rt.unit_exec_s");
+  for (const auto& rec : units) {
+    transfer.add(rec.transfer_seconds);
+    exec.add(rec.exec_seconds);
+  }
 }
 
 }  // namespace frieda::rt

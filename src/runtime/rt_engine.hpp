@@ -24,6 +24,11 @@
 #include "frieda/types.hpp"
 #include "storage/file.hpp"
 
+namespace frieda::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace frieda::obs
+
 namespace frieda::rt {
 
 /// Runtime configuration (the controller's directives).
@@ -35,6 +40,9 @@ struct RtOptions {
   std::string staging_root;       ///< where worker copies land (required
                                   ///< unless strategy is pre-partition-local)
   bool keep_staged_files = false; ///< leave copies behind for inspection
+  obs::Tracer* tracer = nullptr;  ///< opt-in wall-clock tracing (timestamps
+                                  ///< are seconds since run start); nullptr
+                                  ///< disables every tap
 };
 
 /// Executes one program instance.  `input_paths` are the staged (or source)
@@ -64,8 +72,13 @@ struct RtReport {
   std::vector<RtUnitRecord> units;
   std::vector<std::size_t> per_worker_completed;
 
-  /// True when every unit completed.
-  bool all_completed() const { return units_failed == 0 && !units.empty(); }
+  /// True when every unit completed.  A zero-unit run is vacuously complete:
+  /// nothing was asked for and nothing failed.
+  bool all_completed() const { return units_failed == 0 && units_completed == units.size(); }
+
+  /// Export the report's aggregates into `registry` as rt.* gauges plus
+  /// per-unit transfer/exec distributions as rt.unit_* stats instruments.
+  void fill_metrics(obs::MetricsRegistry& registry) const;
 };
 
 /// One configured threaded deployment over a source directory.

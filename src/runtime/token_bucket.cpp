@@ -24,24 +24,21 @@ void TokenBucket::refill_locked() {
 
 void TokenBucket::acquire(std::uint64_t bytes) {
   if (rate_ <= 0.0) return;  // unlimited
-  double need = static_cast<double>(bytes);
-  while (need > 0.0) {
-    double wait_seconds = 0.0;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      refill_locked();
-      const double take = std::min(need, std::max(tokens_, 0.0));
-      tokens_ -= take;
-      need -= take;
-      if (need > 0.0) {
-        // Time until the bucket holds min(need, burst) more tokens.
-        wait_seconds = std::min(need, burst_) / rate_;
-      }
-    }
-    if (wait_seconds > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          std::min(wait_seconds, 0.05)));  // re-check periodically
-    }
+  // Debt model: debit the whole request immediately and sleep exactly the
+  // time the bucket needs to climb back to zero.  Tokens that were already
+  // in the bucket shorten (or eliminate) the wait, and a single sleep per
+  // acquire replaces the periodic re-check loop.  Debiting under the lock
+  // keeps concurrent acquirers fair: each one's deficit includes the debt
+  // of everyone that arrived before it.
+  double wait_seconds = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refill_locked();
+    tokens_ -= static_cast<double>(bytes);
+    if (tokens_ < 0.0) wait_seconds = -tokens_ / rate_;
+  }
+  if (wait_seconds > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait_seconds));
   }
 }
 

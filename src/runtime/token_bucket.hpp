@@ -19,7 +19,9 @@ class TokenBucket {
   /// second of rate).  rate == 0 disables throttling entirely.
   explicit TokenBucket(double rate, double burst = 0.0);
 
-  /// Block until `bytes` tokens are available, then consume them.
+  /// Admit `bytes` at the configured rate: the request is debited
+  /// immediately and the call sleeps exactly long enough for the bucket to
+  /// recover the deficit (not at all while the bucket holds credit).
   void acquire(std::uint64_t bytes);
 
   /// Configured rate (bytes/second; 0 = unlimited).

@@ -11,6 +11,7 @@ std::uint32_t EventQueue::acquire_slot() {
     const std::uint32_t slot = free_head_;
     free_head_ = slots_[slot].next_free;
     slots_[slot].next_free = kNilSlot;
+    ++counters_.slots_reused;
     return slot;
   }
   FRIEDA_CHECK(slots_.size() < kNilSlot, "event queue slab exhausted");
@@ -34,6 +35,7 @@ EventQueue::Handle EventQueue::push(SimTime t, Callback fn) {
   heap_.push_back(HeapEntry{t, next_seq_++, slot, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  ++counters_.scheduled;
   return Handle(this, slot, s.gen);
 }
 
@@ -42,6 +44,7 @@ void EventQueue::cancel(Handle& h) {
     slots_[h.slot_].fn = nullptr;  // release captured state eagerly
     release_slot(h.slot_);         // heap entry becomes a tombstone
     --live_;
+    ++counters_.cancelled;
   }
   h.queue_ = nullptr;
 }
@@ -74,6 +77,7 @@ std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   slots_[top.slot].fn = nullptr;
   release_slot(top.slot);
   --live_;
+  ++counters_.fired;
   return {top.time, std::move(fn)};
 }
 

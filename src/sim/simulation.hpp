@@ -60,6 +60,10 @@ class Simulation {
   /// Number of events dispatched so far.
   std::uint64_t events_processed() const { return events_processed_; }
 
+  /// Event-queue activity counters (scheduled/cancelled/fired/pool reuse);
+  /// snapshot these into an obs::MetricsRegistry for run reports.
+  const EventQueue::Counters& event_counters() const { return queue_.counters(); }
+
   /// Number of live root processes.
   std::size_t live_processes() const { return roots_.size(); }
 

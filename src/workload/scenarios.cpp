@@ -65,6 +65,8 @@ core::RunReport execute(Built& b, const core::AppModel& app,
   ropt.multicore = multicore;
   ropt.prefetch = opt.prefetch;
   ropt.requeue_on_failure = opt.requeue_on_failure;
+  ropt.tracer = opt.tracer;
+  ropt.metrics = opt.metrics;
   core::FriedaRun run(*b.cluster, catalog, std::move(units), app, command, ropt);
   if (strategy == core::PlacementStrategy::kPrePartitionLocal) {
     run.pre_place_partitions(b.vms);

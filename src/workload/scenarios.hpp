@@ -27,6 +27,9 @@ struct PaperScenarioOptions {
   std::uint64_t seed = 2012;       ///< simulation seed
   int prefetch = 1;                ///< real-time pipelining depth
   bool requeue_on_failure = false;
+  obs::Tracer* tracer = nullptr;   ///< opt-in run tracing (forwarded to
+                                   ///< RunOptions::tracer)
+  obs::MetricsRegistry* metrics = nullptr;  ///< opt-in metrics registry
 
   /// Hook called after the run is constructed and before it executes —
   /// benches use it to schedule failures or elasticity.

@@ -92,6 +92,59 @@ TEST(Failure, RequeueExtensionCompletesEverything) {
   EXPECT_TRUE(retried);
 }
 
+TEST(Failure, LastLiveWorkerFailingMidFlightKeepsAccountingClosed) {
+  // The hard corner of the requeue path: requeue_on_failure is on, but the
+  // failing worker was the LAST live one, so units in flight cannot requeue
+  // (no live worker) and must go terminal instead of lingering kInFlight.
+  auto s = make_scenario(small_load(), 1, 2);
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.requeue_on_failure = true;
+  cluster::FailureInjector injector(*s.cluster);
+  injector.schedule(s.vms[0], 10.0);  // the only VM dies mid-run
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+
+  EXPECT_EQ(injector.injected(), 1u);
+  EXPECT_GT(report.units_completed, 0u);
+  EXPECT_LT(report.units_completed, report.units_total);
+  // Terminal accounting stays closed: every unit is exactly one of
+  // completed / failed / unprocessed...
+  EXPECT_EQ(report.units_completed + report.units_failed + report.units_unprocessed,
+            report.units_total);
+  // ...and none is stranded in a non-terminal state.
+  for (const auto& rec : report.units) {
+    EXPECT_NE(rec.status, UnitStatus::kInFlight) << "unit " << rec.unit;
+    EXPECT_NE(rec.status, UnitStatus::kPending) << "unit " << rec.unit;
+  }
+}
+
+TEST(Failure, ExhaustedAttemptsGoTerminalWithRequeueEnabled) {
+  // requeue_on_failure with max_attempts == 1: a unit lost to a failure has
+  // already spent its only attempt and must go kFailed (not requeue forever,
+  // not linger in flight), while the surviving VM finishes the rest.
+  auto s = make_scenario(small_load(), 2, 2);
+  RunOptions opt;
+  opt.strategy = PlacementStrategy::kRealTime;
+  opt.requeue_on_failure = true;
+  opt.max_attempts = 1;
+  cluster::FailureInjector injector(*s.cluster);
+  injector.schedule(s.vms[1], 10.0);
+  FriedaRun run(*s.cluster, s.app->catalog(), s.units, *s.app, CommandTemplate("app $inp1"),
+                opt);
+  const auto report = run.run();
+
+  EXPECT_EQ(injector.injected(), 1u);
+  EXPECT_GT(report.units_failed, 0u);  // the in-flight casualties
+  EXPECT_EQ(report.units_completed + report.units_failed + report.units_unprocessed,
+            report.units_total);
+  for (const auto& rec : report.units) {
+    EXPECT_NE(rec.status, UnitStatus::kInFlight) << "unit " << rec.unit;
+    if (rec.status == UnitStatus::kFailed) EXPECT_EQ(rec.attempts, 1);
+  }
+}
+
 TEST(Failure, PrePartitionLosesTheFailedWorkersShare) {
   auto s = make_scenario(small_load(), 2, 2);
   RunOptions opt;

@@ -119,7 +119,9 @@ TEST(RunIntegration, PrePartitionPhasesAreSequential) {
   EXPECT_TRUE(report.all_completed());
   EXPECT_NEAR(report.staging_seconds(), 32.0, 2.0);
   // No compute may start before staging ends.
-  EXPECT_GE(report.timeline.first_start(ActivityKind::kCompute), report.staging_end - 1e-9);
+  const auto first_compute = report.timeline.first_start(ActivityKind::kCompute);
+  ASSERT_TRUE(first_compute.has_value());
+  EXPECT_GE(*first_compute, report.staging_end - 1e-9);
   // Transfer and compute phases must not overlap.
   EXPECT_NEAR(report.overlap(), 0.0, 1e-6);
   // Makespan ~ staging + compute (16 units x 1 s / 4 cores = 4 s).

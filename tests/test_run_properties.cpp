@@ -92,8 +92,9 @@ TEST_P(RunPropertyTest, InvariantsHold) {
   // and staging is instantaneous for the lazy strategies.
   if (strategy == PlacementStrategy::kPrePartitionRemote ||
       strategy == PlacementStrategy::kNoPartitionCommon) {
-    EXPECT_GE(report.timeline.first_start(ActivityKind::kCompute),
-              report.staging_end - 1e-9);
+    const auto first_compute = report.timeline.first_start(ActivityKind::kCompute);
+    ASSERT_TRUE(first_compute.has_value());
+    EXPECT_GE(*first_compute, report.staging_end - 1e-9);
   }
   if (strategy == PlacementStrategy::kRealTime ||
       strategy == PlacementStrategy::kRemoteRead) {

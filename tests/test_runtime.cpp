@@ -93,6 +93,39 @@ TEST(TokenBucket, ThrottlesToConfiguredRate) {
 
 TEST(TokenBucket, NegativeRateThrows) { EXPECT_THROW(TokenBucket(-1.0), FriedaError); }
 
+TEST(TokenBucket, SustainedRateIsAccurate) {
+  // Regression for the over-waiting acquire: chunked acquires must sustain
+  // the configured rate, not a capped fraction of it.  Move 4 MB in 64 KiB
+  // chunks (the runtime's copy granularity) at 20 MB/s: the 1 MB initial
+  // burst is free, the remaining 3 MB cost 0.15 s at rate.
+  const double rate = 20e6;
+  TokenBucket bucket(rate, /*burst=*/1e6);
+  const std::uint64_t chunk = 64 * 1024;
+  const std::uint64_t total = 4'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t moved = 0; moved < total; moved += chunk) {
+    bucket.acquire(std::min(chunk, total - moved));
+  }
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  const double expected = (total - 1e6) / rate;  // 0.15 s
+  EXPECT_GT(took, expected * 0.7);
+  EXPECT_LT(took, expected * 2.0 + 0.05);  // generous: CI schedulers jitter
+}
+
+TEST(TokenBucket, AccumulatedCreditEliminatesTheWait) {
+  // Tokens already in the bucket must shorten the wait: after an idle period
+  // refills the burst, an acquire within the burst returns immediately.
+  TokenBucket bucket(10e6, /*burst=*/1e6);
+  bucket.acquire(1'000'000);  // drain the initial burst (no wait)
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));  // refill >= 1 MB
+  const auto start = std::chrono::steady_clock::now();
+  bucket.acquire(900'000);  // fully covered by the refilled credit
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(took, 0.05);
+}
+
 // ---- RtEngine end-to-end ----
 
 class RtEngineTest : public ::testing::Test {

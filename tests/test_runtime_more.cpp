@@ -108,10 +108,6 @@ TEST_F(RtMoreTest, RunValidation) {
   opt.worker_count = 1;
   opt.staging_root = staging_;
   RtEngine engine(source_, opt);
-  EXPECT_THROW(engine.run({}, core::CommandTemplate("app $inp1"),
-                          [](const core::WorkUnit&, const std::vector<std::string>&,
-                             const std::string&) { return true; }),
-               FriedaError);
   auto units = core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile,
                                                   engine.catalog());
   EXPECT_THROW(engine.run(units, core::CommandTemplate("app $inp1 $inp2"),
@@ -120,6 +116,27 @@ TEST_F(RtMoreTest, RunValidation) {
                FriedaError);
   EXPECT_THROW(engine.run(std::move(units), core::CommandTemplate("app $inp1"), nullptr),
                FriedaError);
+}
+
+TEST_F(RtMoreTest, EmptyUnitListIsVacuousSuccess) {
+  RtOptions opt;
+  opt.strategy = core::PlacementStrategy::kRealTime;
+  opt.worker_count = 2;
+  opt.staging_root = staging_;
+  RtEngine engine(source_, opt);
+  std::atomic<int> calls{0};
+  const auto report = engine.run(
+      {}, core::CommandTemplate("app $inp1"),
+      [&](const core::WorkUnit&, const std::vector<std::string>&, const std::string&) {
+        ++calls;
+        return true;
+      });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(report.units_completed, 0u);
+  EXPECT_EQ(report.units_failed, 0u);
+  EXPECT_TRUE(report.units.empty());
+  // Nothing was asked for and nothing failed: vacuously complete.
+  EXPECT_TRUE(report.all_completed());
 }
 
 }  // namespace

@@ -63,6 +63,27 @@ TEST(SampleSet, Percentiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(SampleSet, PercentileBoundariesAndInterpolation) {
+  // Two samples pin the interpolating behavior the doc promises: rank
+  // p/100 * (n-1) with linear interpolation between the neighbors.
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);    // p=0 is the minimum
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 20.0);  // p=100 is the maximum
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 15.0);   // midpoint, not nearest rank
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 12.5);
+  EXPECT_DOUBLE_EQ(s.percentile(75.0), 17.5);
+}
+
+TEST(SampleSet, SingleSampleEveryPercentile) {
+  SampleSet s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 7.0);
+}
+
 TEST(SampleSet, Errors) {
   SampleSet s;
   EXPECT_THROW(s.percentile(50.0), FriedaError);

@@ -34,10 +34,22 @@ TEST(Timeline, FirstStartLastEnd) {
   Timeline tl;
   tl.record(ActivityKind::kCompute, 3.0, 5.0);
   tl.record(ActivityKind::kCompute, 1.0, 2.0);
-  EXPECT_DOUBLE_EQ(tl.first_start(ActivityKind::kCompute), 1.0);
-  EXPECT_DOUBLE_EQ(tl.last_end(ActivityKind::kCompute), 5.0);
-  EXPECT_DOUBLE_EQ(tl.first_start(ActivityKind::kTransfer), 0.0);
-  EXPECT_DOUBLE_EQ(tl.last_end(ActivityKind::kTransfer), 0.0);
+  ASSERT_TRUE(tl.first_start(ActivityKind::kCompute).has_value());
+  ASSERT_TRUE(tl.last_end(ActivityKind::kCompute).has_value());
+  EXPECT_DOUBLE_EQ(*tl.first_start(ActivityKind::kCompute), 1.0);
+  EXPECT_DOUBLE_EQ(*tl.last_end(ActivityKind::kCompute), 5.0);
+  // An absent kind reports "no interval", not a fake t=0 timestamp.
+  EXPECT_FALSE(tl.first_start(ActivityKind::kTransfer).has_value());
+  EXPECT_FALSE(tl.last_end(ActivityKind::kTransfer).has_value());
+}
+
+TEST(Timeline, FirstStartAtTimeZeroIsDistinguishableFromEmpty) {
+  Timeline tl;
+  tl.record(ActivityKind::kTransfer, 0.0, 4.0);
+  ASSERT_TRUE(tl.first_start(ActivityKind::kTransfer).has_value());
+  EXPECT_DOUBLE_EQ(*tl.first_start(ActivityKind::kTransfer), 0.0);
+  ASSERT_TRUE(tl.last_end(ActivityKind::kTransfer).has_value());
+  EXPECT_DOUBLE_EQ(*tl.last_end(ActivityKind::kTransfer), 4.0);
 }
 
 TEST(Timeline, CountAndLabels) {
