@@ -9,6 +9,7 @@
 //   * real-time with input eviction only ever needs a handful of units
 //     resident, so it degrades last.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/cluster.hpp"
@@ -59,14 +60,38 @@ int main() {
                    "real-time (no evict)", "real-time (evict)"});
   CsvWriter csv({"disk_mb", "common", "pre", "rt_noevict", "rt_evict"});
 
+  exp::ScenarioSweep sweep;
+  struct Point {
+    Bytes disk;
+    exp::JobId common, pre, rt_no, rt_ev;
+  };
+  std::vector<Point> points;
   for (const Bytes disk : {40 * MB, 100 * MB, 220 * MB, 450 * MB, GiB}) {
-    const auto common = run_case(disk, PlacementStrategy::kNoPartitionCommon, false);
-    const auto pre = run_case(disk, PlacementStrategy::kPrePartitionRemote, false);
-    const auto rt_no = run_case(disk, PlacementStrategy::kRealTime, false);
-    const auto rt_ev = run_case(disk, PlacementStrategy::kRealTime, true);
-    table.add_row({std::to_string(disk / MB) + " MB", cell(common), cell(pre), cell(rt_no),
+    const auto tag = [disk](const char* mode) {
+      return "disk" + std::to_string(disk / MB) + "MB/" + mode;
+    };
+    auto& g = sweep.grid();
+    points.push_back(
+        {disk,
+         g.add(tag("common"),
+               [disk] { return run_case(disk, PlacementStrategy::kNoPartitionCommon, false); }),
+         g.add(tag("pre"),
+               [disk] { return run_case(disk, PlacementStrategy::kPrePartitionRemote, false); }),
+         g.add(tag("rt-noevict"),
+               [disk] { return run_case(disk, PlacementStrategy::kRealTime, false); }),
+         g.add(tag("rt-evict"),
+               [disk] { return run_case(disk, PlacementStrategy::kRealTime, true); })});
+  }
+  sweep.run();
+
+  for (const auto& p : points) {
+    const auto& common = sweep.report(p.common);
+    const auto& pre = sweep.report(p.pre);
+    const auto& rt_no = sweep.report(p.rt_no);
+    const auto& rt_ev = sweep.report(p.rt_ev);
+    table.add_row({std::to_string(p.disk / MB) + " MB", cell(common), cell(pre), cell(rt_no),
                    cell(rt_ev)});
-    csv.add_row_nums({static_cast<double>(disk / MB),
+    csv.add_row_nums({static_cast<double>(p.disk / MB),
                       static_cast<double>(common.units_completed),
                       static_cast<double>(pre.units_completed),
                       static_cast<double>(rt_no.units_completed),
@@ -77,5 +102,6 @@ int main() {
                  "the disk holds a few working-set units");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_capacity.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -5,6 +5,8 @@
 // their in-flight/unassigned units) against the future-work requeue
 // extension (re-dispatch lost units to survivors).
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "workload/scenarios.hpp"
@@ -19,19 +21,19 @@ core::RunReport run_case(std::size_t failures, bool requeue) {
   PaperScenarioOptions opt;
   opt.scale = 0.2;
   opt.requeue_on_failure = requeue;
-  // The injector must outlive the simulation run inside run_blast().
-  static std::vector<std::unique_ptr<cluster::FailureInjector>> injectors;
-  opt.arrange = [failures](sim::Simulation&, cluster::VirtualCluster& cluster,
-                           core::FriedaRun&) {
-    injectors.push_back(std::make_unique<cluster::FailureInjector>(cluster));
+  // The injector must outlive the simulation run inside run_blast(); keeping
+  // it in a per-case local (not a static) keeps concurrent sweep jobs
+  // thread-confined.
+  std::unique_ptr<cluster::FailureInjector> injector;
+  opt.arrange = [failures, &injector](sim::Simulation&, cluster::VirtualCluster& cluster,
+                                      core::FriedaRun&) {
+    injector = std::make_unique<cluster::FailureInjector>(cluster);
     for (std::size_t i = 0; i < failures; ++i) {
-      injectors.back()->schedule(static_cast<cluster::VmId>(i),
-                                 120.0 + 60.0 * static_cast<double>(i));
+      injector->schedule(static_cast<cluster::VmId>(i),
+                         120.0 + 60.0 * static_cast<double>(i));
     }
   };
-  auto report = run_blast(PlacementStrategy::kRealTime, opt);
-  injectors.clear();  // the cluster is gone; drop the injector with it
-  return report;
+  return run_blast(PlacementStrategy::kRealTime, opt);
 }
 
 }  // namespace
@@ -41,22 +43,41 @@ int main() {
                   {"failures", "mode", "completed", "failed", "unprocessed", "makespan (s)"});
   CsvWriter csv({"failures", "requeue", "completed", "failed", "unprocessed", "makespan"});
 
+  exp::ScenarioSweep sweep;
+  struct Case {
+    std::size_t failures;
+    bool requeue;
+    exp::JobId id;
+  };
+  std::vector<Case> cases;
   for (const std::size_t failures : {0u, 1u, 2u, 3u}) {
     for (const bool requeue : {false, true}) {
-      const auto r = run_case(failures, requeue);
-      table.add_row({std::to_string(failures), requeue ? "requeue (ext.)" : "isolate (paper)",
-                     std::to_string(r.units_completed), std::to_string(r.units_failed),
-                     std::to_string(r.units_unprocessed), bench::secs(r.makespan())});
-      csv.add_row_nums({static_cast<double>(failures), requeue ? 1.0 : 0.0,
-                        static_cast<double>(r.units_completed),
-                        static_cast<double>(r.units_failed),
-                        static_cast<double>(r.units_unprocessed), r.makespan()});
+      const auto tag = "failures" + std::to_string(failures) +
+                       (requeue ? "/requeue" : "/isolate");
+      cases.push_back({failures, requeue,
+                       sweep.grid().add(tag, [failures, requeue] {
+                         return run_case(failures, requeue);
+                       })});
     }
+  }
+  sweep.run();
+
+  for (const auto& c : cases) {
+    const auto& r = sweep.report(c.id);
+    table.add_row({std::to_string(c.failures),
+                   c.requeue ? "requeue (ext.)" : "isolate (paper)",
+                   std::to_string(r.units_completed), std::to_string(r.units_failed),
+                   std::to_string(r.units_unprocessed), bench::secs(r.makespan())});
+    csv.add_row_nums({static_cast<double>(c.failures), c.requeue ? 1.0 : 0.0,
+                      static_cast<double>(r.units_completed),
+                      static_cast<double>(r.units_failed),
+                      static_cast<double>(r.units_unprocessed), r.makespan()});
   }
   table.add_note("D5 (paper Section V.A Robust): isolation protects the run but loses the "
                  "failed workers' units; the requeue extension completes everything at the "
                  "cost of re-staging and longer makespan");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_failures.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

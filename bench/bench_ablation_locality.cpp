@@ -7,6 +7,8 @@
 // workers instead of re-pulling bytes across the WAN — the "network topology
 // aware" data management the paper calls for in federated clouds (Section I).
 #include <cstdio>
+#include <iterator>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "cluster/cluster.hpp"
@@ -74,9 +76,20 @@ int main() {
                   {"WAN", "blind makespan (s)", "aware makespan (s)", "blind WAN MB",
                    "aware WAN MB"});
   CsvWriter csv({"wan_mbps", "blind_s", "aware_s", "blind_wan_mb", "aware_wan_mb"});
-  for (const double wan : {10.0, 25.0, 50.0, 100.0, 200.0}) {
-    const auto blind = run_case(wan, false);
-    const auto aware = run_case(wan, true);
+  const double wan_points[] = {10.0, 25.0, 50.0, 100.0, 200.0};
+  std::vector<exp::Job<Outcome>> jobs;
+  for (const double wan : wan_points) {
+    const auto tag = "wan" + TextTable::num(wan, 0);
+    jobs.push_back({tag + "/blind", [wan] { return run_case(wan, false); }});
+    jobs.push_back({tag + "/aware", [wan] { return run_case(wan, true); }});
+  }
+  exp::SweepRunner<Outcome> runner;
+  const auto outcomes = runner.run(std::move(jobs));
+
+  for (std::size_t i = 0; i < std::size(wan_points); ++i) {
+    const double wan = wan_points[i];
+    const auto& blind = outcomes[2 * i].get();
+    const auto& aware = outcomes[2 * i + 1].get();
     table.add_row({TextTable::num(wan, 0) + " Mbps", bench::secs(blind.makespan),
                    bench::secs(aware.makespan),
                    TextTable::num(static_cast<double>(blind.wan_bytes) / 1e6, 0),
@@ -89,5 +102,6 @@ int main() {
                  "there, cutting WAN traffic and the makespan penalty of a slow WAN");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_locality.csv");
+  bench::print_sweep_stats(outcomes.size(), runner.threads_used(), runner.wall_seconds());
   return 0;
 }

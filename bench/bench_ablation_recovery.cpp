@@ -7,6 +7,7 @@
 // workers keep executing assignments they already hold, so short outages
 // cost far less than their nominal duration.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "workload/scenarios.hpp"
@@ -32,23 +33,39 @@ core::RunReport run_with_outage(double crash_at, double outage) {
 }  // namespace
 
 int main() {
-  const auto baseline = run_with_outage(0.0, -1.0);
+  exp::ScenarioSweep sweep;
+  const auto id_baseline =
+      sweep.grid().add("no-crash", [] { return run_with_outage(0.0, -1.0); });
+  struct Case {
+    double outage;
+    exp::JobId id;
+  };
+  std::vector<Case> cases;
+  for (const double outage : {0.0, 5.0, 15.0, 30.0, 60.0}) {
+    cases.push_back({outage, sweep.grid().add("outage" + bench::secs(outage), [outage] {
+                       return run_with_outage(40.0, outage);
+                     })});
+  }
+  sweep.run();
+  const auto& baseline = sweep.report(id_baseline);
+
   TextTable table("Ablation A7: master outage at t=40 s (ALS 20%, real-time)",
                   {"outage (s)", "makespan (s)", "overhead vs. no crash", "completed"});
   CsvWriter csv({"outage", "makespan", "overhead_seconds"});
   table.add_row({"none", bench::secs(baseline.makespan()), "-",
                  std::to_string(baseline.units_completed) + "/" +
                      std::to_string(baseline.units_total)});
-  for (const double outage : {0.0, 5.0, 15.0, 30.0, 60.0}) {
-    const auto r = run_with_outage(40.0, outage);
-    table.add_row({bench::secs(outage), bench::secs(r.makespan()),
+  for (const auto& c : cases) {
+    const auto& r = sweep.report(c.id);
+    table.add_row({bench::secs(c.outage), bench::secs(r.makespan()),
                    "+" + bench::secs(r.makespan() - baseline.makespan()),
                    std::to_string(r.units_completed) + "/" + std::to_string(r.units_total)});
-    csv.add_row_nums({outage, r.makespan(), r.makespan() - baseline.makespan()});
+    csv.add_row_nums({c.outage, r.makespan(), r.makespan() - baseline.makespan()});
   }
   table.add_note("every run completes all units; the execution plane rides out the outage "
                  "with the assignments it already holds, so overhead < outage duration");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_recovery.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -7,6 +7,7 @@
 // Part 2 shows mid-run elastic scale-out absorbing new capacity under the
 // real-time strategy (and not under pre-partitioning).
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "workload/scenarios.hpp"
@@ -19,26 +20,41 @@ int main() {
   TextTable table("Ablation A2a: VM-count sweep, BLAST real-time (20% scale, seconds)",
                   {"Worker VMs", "multicore on", "multicore off", "cloning speedup"});
   CsvWriter csv({"vms", "multicore_on", "multicore_off"});
+
+  PaperScenarioOptions base;
+  base.scale = 0.2;
+  const auto model = std::make_shared<const BlastModel>(make_blast_model(base));
+  exp::ScenarioSweep sweep;
+  struct Point {
+    std::size_t vms;
+    exp::JobId on, off;
+  };
+  std::vector<Point> points;
   for (const std::size_t vms : {1u, 2u, 4u, 8u}) {
-    PaperScenarioOptions on;
-    on.scale = 0.2;
+    PaperScenarioOptions on = base;
     on.worker_vms = vms;
     PaperScenarioOptions off = on;
     off.multicore = false;
-    const auto r_on = run_blast(PlacementStrategy::kRealTime, on);
-    const auto r_off = run_blast(PlacementStrategy::kRealTime, off);
-    table.add_row({std::to_string(vms), bench::secs(r_on.makespan()),
+    points.push_back({vms, sweep.grid().add_blast(PlacementStrategy::kRealTime, on, model),
+                      sweep.grid().add_blast(PlacementStrategy::kRealTime, off, model)});
+  }
+  sweep.run();
+  for (const auto& p : points) {
+    const auto& r_on = sweep.report(p.on);
+    const auto& r_off = sweep.report(p.off);
+    table.add_row({std::to_string(p.vms), bench::secs(r_on.makespan()),
                    bench::secs(r_off.makespan()),
                    TextTable::num(r_off.makespan() / r_on.makespan(), 2) + "x"});
-    csv.add_row_nums({static_cast<double>(vms), r_on.makespan(), r_off.makespan()});
+    csv.add_row_nums({static_cast<double>(p.vms), r_on.makespan(), r_off.makespan()});
   }
   table.add_note("D4: per-core program cloning yields ~cores x speedup on compute-bound "
                  "work; the paper's 16-instance setup is 4 VMs with multicore on");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_scaling.csv");
+  bench::print_sweep_stats(sweep);
 
   // ---- Part 2: elasticity ----
-  const auto elastic_run = [&](PlacementStrategy strategy, bool elastic) {
+  const auto elastic_job = [&](exp::Grid& grid, PlacementStrategy strategy, bool elastic) {
     PaperScenarioOptions opt;
     opt.scale = 0.2;
     opt.worker_vms = 2;
@@ -53,15 +69,23 @@ int main() {
         });
       };
     }
-    return run_blast(strategy, opt);
+    return grid.add_blast(strategy, opt, model);
   };
 
   TextTable table2("Ablation A2b: elastic scale-out at t=60 s (2 VMs -> 4 VMs)",
                    {"Strategy", "static 2 VMs", "elastic 2->4 VMs", "improvement"});
-  const auto rt_static = elastic_run(PlacementStrategy::kRealTime, false);
-  const auto rt_elastic = elastic_run(PlacementStrategy::kRealTime, true);
-  const auto pre_static = elastic_run(PlacementStrategy::kPrePartitionRemote, false);
-  const auto pre_elastic = elastic_run(PlacementStrategy::kPrePartitionRemote, true);
+  exp::ScenarioSweep sweep2;
+  const auto id_rt_static = elastic_job(sweep2.grid(), PlacementStrategy::kRealTime, false);
+  const auto id_rt_elastic = elastic_job(sweep2.grid(), PlacementStrategy::kRealTime, true);
+  const auto id_pre_static =
+      elastic_job(sweep2.grid(), PlacementStrategy::kPrePartitionRemote, false);
+  const auto id_pre_elastic =
+      elastic_job(sweep2.grid(), PlacementStrategy::kPrePartitionRemote, true);
+  sweep2.run();
+  const auto& rt_static = sweep2.report(id_rt_static);
+  const auto& rt_elastic = sweep2.report(id_rt_elastic);
+  const auto& pre_static = sweep2.report(id_pre_static);
+  const auto& pre_elastic = sweep2.report(id_pre_elastic);
   table2.add_row({"real-time", bench::secs(rt_static.makespan()),
                   bench::secs(rt_elastic.makespan()),
                   TextTable::num((1.0 - rt_elastic.makespan() / rt_static.makespan()) * 100,
@@ -75,5 +99,6 @@ int main() {
   table2.add_note("real-time absorbs elastic workers automatically (Section V.A Elastic); "
                   "pre-partitioning cannot — its shares were fixed at staging time");
   std::printf("%s", table2.to_string().c_str());
+  bench::print_sweep_stats(sweep2);
   return 0;
 }

@@ -8,6 +8,7 @@
 // reports the achieved throughput share per stream count, plus the
 // zero-contention sanity row (striping cannot beat the NIC).
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "net/network.hpp"
@@ -71,14 +72,31 @@ double solo_run(unsigned streams) {
 
 }  // namespace
 
+// One sweep job per stream count: the contended run plus its zero-contention
+// sanity row (two independent simulations, same thread).
+struct StreamsCase {
+  Outcome contended;
+  double solo_seconds = 0.0;
+};
+
 int main() {
   TextTable table("Ablation A6: striped transfers — 100 MB vs. 4 rivals on a shared link",
                   {"streams", "striped (s)", "rival mean (s)", "striped share",
                    "solo, no rivals (s)"});
   CsvWriter csv({"streams", "striped_seconds", "rival_seconds", "solo_seconds"});
-  for (const unsigned k : {1u, 2u, 4u, 8u}) {
-    const auto c = contended_run(k);
-    const double solo = solo_run(k);
+  const unsigned stream_counts[] = {1u, 2u, 4u, 8u};
+  std::vector<exp::Job<StreamsCase>> jobs;
+  for (const unsigned k : stream_counts) {
+    jobs.push_back({"streams" + std::to_string(k),
+                    [k] { return StreamsCase{contended_run(k), solo_run(k)}; }});
+  }
+  exp::SweepRunner<StreamsCase> runner;
+  const auto outcomes = runner.run(std::move(jobs));
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const unsigned k = stream_counts[i];
+    const auto& c = outcomes[i].get().contended;
+    const double solo = outcomes[i].get().solo_seconds;
     // Effective throughput fraction of the shared 12.5 MB/s link.
     const double share = (100e6 / c.striped_seconds) / 12.5e6;
     table.add_row({std::to_string(k), bench::secs(c.striped_seconds),
@@ -91,5 +109,6 @@ int main() {
   table.add_note("this is the GridFTP-style mechanism the paper lists as future work");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_streams.csv");
+  bench::print_sweep_stats(outcomes.size(), runner.threads_used(), runner.wall_seconds());
   return 0;
 }

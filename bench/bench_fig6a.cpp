@@ -20,10 +20,17 @@ int main() {
   PaperScenarioOptions opt;
 
   std::printf("Running Figure 6a scenarios (ALS, full scale)...\n");
-  const auto local = run_als(PlacementStrategy::kPrePartitionLocal, opt);
-  const auto pre = run_als(PlacementStrategy::kPrePartitionRemote, opt);
-  const auto rt = run_als(PlacementStrategy::kRealTime, opt);
-  const auto volume = run_als(PlacementStrategy::kSharedVolume, opt);
+  const auto model = std::make_shared<const ImageCompareModel>(make_als_model(opt));
+  exp::ScenarioSweep sweep;
+  const auto id_local = sweep.grid().add_als(PlacementStrategy::kPrePartitionLocal, opt, model);
+  const auto id_pre = sweep.grid().add_als(PlacementStrategy::kPrePartitionRemote, opt, model);
+  const auto id_rt = sweep.grid().add_als(PlacementStrategy::kRealTime, opt, model);
+  const auto id_volume = sweep.grid().add_als(PlacementStrategy::kSharedVolume, opt, model);
+  sweep.run();
+  const auto& local = sweep.report(id_local);
+  const auto& pre = sweep.report(id_pre);
+  const auto& rt = sweep.report(id_rt);
+  const auto& volume = sweep.report(id_volume);
 
   TextTable table("Figure 6a: ALS — transfer/execution decomposition (seconds)",
                   {"Strategy", "Transfer busy", "Execution busy", "Overlap", "Total"});
@@ -55,5 +62,6 @@ int main() {
                bench::secs(volume.compute_busy()), bench::secs(volume.overlap()),
                bench::secs(volume.makespan())});
   bench::try_save(csv, "fig6a.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -27,9 +27,16 @@ int main() {
   PaperScenarioOptions opt;
 
   std::printf("Running Figure 6b scenarios (BLAST, full scale)...\n");
-  const auto local = run_blast(PlacementStrategy::kPrePartitionLocal, opt);
-  const auto pre = run_blast(PlacementStrategy::kPrePartitionRemote, opt);
-  const auto rt = run_blast(PlacementStrategy::kRealTime, opt);
+  const auto model = std::make_shared<const BlastModel>(make_blast_model(opt));
+  exp::ScenarioSweep sweep;
+  const auto id_local =
+      sweep.grid().add_blast(PlacementStrategy::kPrePartitionLocal, opt, model);
+  const auto id_pre = sweep.grid().add_blast(PlacementStrategy::kPrePartitionRemote, opt, model);
+  const auto id_rt = sweep.grid().add_blast(PlacementStrategy::kRealTime, opt, model);
+  sweep.run();
+  const auto& local = sweep.report(id_local);
+  const auto& pre = sweep.report(id_pre);
+  const auto& rt = sweep.report(id_rt);
 
   TextTable table("Figure 6b: BLAST — transfer/execution decomposition (seconds)",
                   {"Strategy", "Transfer busy", "Execution busy", "Total",
@@ -56,5 +63,6 @@ int main() {
   csv.add_row({"real-time", bench::secs(rt.transfer_busy()), bench::secs(rt.compute_busy()),
                bench::secs(rt.makespan()), TextTable::num(worker_imbalance(rt), 4)});
   bench::try_save(csv, "fig6b.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -17,12 +17,19 @@ int main() {
   PaperScenarioOptions opt;
 
   std::printf("Running Figure 7a scenarios (ALS, full scale)...\n");
+  const auto model = std::make_shared<const ImageCompareModel>(make_als_model(opt));
+  exp::ScenarioSweep sweep;
   // Move computation to data: partitions resident on worker VMs, execute there.
-  const auto move_compute = run_als(PlacementStrategy::kPrePartitionLocal, opt);
+  const auto id_compute =
+      sweep.grid().add_als(PlacementStrategy::kPrePartitionLocal, opt, model);
   // Move data to computation: stage partitions from the source, then execute.
-  const auto move_data = run_als(PlacementStrategy::kPrePartitionRemote, opt);
+  const auto id_data = sweep.grid().add_als(PlacementStrategy::kPrePartitionRemote, opt, model);
   // Streaming variant: computation pulls remote data at execution time.
-  const auto stream = run_als(PlacementStrategy::kRemoteRead, opt);
+  const auto id_stream = sweep.grid().add_als(PlacementStrategy::kRemoteRead, opt, model);
+  sweep.run();
+  const auto& move_compute = sweep.report(id_compute);
+  const auto& move_data = sweep.report(id_data);
+  const auto& stream = sweep.report(id_stream);
 
   TextTable table("Figure 7a: ALS — move data vs. move computation (seconds)",
                   {"Approach", "Transfer busy", "Total", "vs. move-computation"});
@@ -45,5 +52,6 @@ int main() {
   csv.add_row({"remote-read", bench::secs(stream.transfer_busy()),
                bench::secs(stream.makespan())});
   bench::try_save(csv, "fig7a.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -16,9 +16,17 @@ int main() {
   PaperScenarioOptions opt;
 
   std::printf("Running Figure 7b scenarios (BLAST, full scale)...\n");
-  const auto move_compute = run_blast(PlacementStrategy::kPrePartitionLocal, opt);
-  const auto move_data = run_blast(PlacementStrategy::kPrePartitionRemote, opt);
-  const auto stream = run_blast(PlacementStrategy::kRemoteRead, opt);
+  const auto model = std::make_shared<const BlastModel>(make_blast_model(opt));
+  exp::ScenarioSweep sweep;
+  const auto id_compute =
+      sweep.grid().add_blast(PlacementStrategy::kPrePartitionLocal, opt, model);
+  const auto id_data =
+      sweep.grid().add_blast(PlacementStrategy::kPrePartitionRemote, opt, model);
+  const auto id_stream = sweep.grid().add_blast(PlacementStrategy::kRemoteRead, opt, model);
+  sweep.run();
+  const auto& move_compute = sweep.report(id_compute);
+  const auto& move_data = sweep.report(id_data);
+  const auto& stream = sweep.report(id_stream);
 
   TextTable table("Figure 7b: BLAST — move data vs. move computation (seconds)",
                   {"Approach", "Transfer busy", "Total", "vs. move-computation"});
@@ -43,5 +51,6 @@ int main() {
   csv.add_row({"remote-read", bench::secs(stream.transfer_busy()),
                bench::secs(stream.makespan())});
   bench::try_save(csv, "fig7b.csv");
+  bench::print_sweep_stats(sweep);
   return 0;
 }

@@ -1,15 +1,18 @@
 // EXP-M0 — google-benchmark microbenchmarks of the substrate primitives:
 // event queue throughput, coroutine channel round trips, the max-min fair
-// solver, partition generation, and a full small FRIEDA run per iteration.
+// solver, partition generation, a full small FRIEDA run per iteration, and
+// sweep-engine throughput (1 thread vs. a pool) on a fixed scenario grid.
 #include <benchmark/benchmark.h>
 
 #include "cluster/cluster.hpp"
+#include "exp/grid.hpp"
 #include "frieda/partition.hpp"
 #include "frieda/run.hpp"
 #include "net/fairshare.hpp"
 #include "net/network.hpp"
 #include "sim/channel.hpp"
 #include "sim/simulation.hpp"
+#include "workload/scenarios.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
@@ -161,6 +164,35 @@ void BM_FullFriedaRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullFriedaRun)->Unit(benchmark::kMillisecond);
+
+void BM_SweepThroughput(benchmark::State& state) {
+  // The tentpole measurement: a fixed 32-job BLAST grid (8 seeds x 4
+  // strategies at 10% scale, one shared immutable model) executed per
+  // iteration on Arg(n) pool threads.  Arg(1) is the sequential baseline;
+  // the per-iteration wall time ratio is the sweep speedup.
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  workload::PaperScenarioOptions base;
+  base.scale = 0.1;
+  const auto model =
+      std::make_shared<const workload::BlastModel>(workload::make_blast_model(base));
+  for (auto _ : state) {
+    exp::Grid grid;
+    for (std::uint64_t s = 0; s < 8; ++s) {
+      auto opt = base;
+      opt.seed = exp::derive_seed(2012, s);
+      grid.add_blast(core::PlacementStrategy::kNoPartitionCommon, opt, model);
+      grid.add_blast(core::PlacementStrategy::kPrePartitionRemote, opt, model);
+      grid.add_blast(core::PlacementStrategy::kPrePartitionLocal, opt, model);
+      grid.add_blast(core::PlacementStrategy::kRealTime, opt, model);
+    }
+    exp::SweepRunner<> runner(exp::SweepOptions{threads});
+    const auto outcomes = runner.run(grid.take());
+    for (const auto& o : outcomes) benchmark::DoNotOptimize(o.get().units_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
 
 }  // namespace
 

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "common/csv.hpp"
 #include "common/table.hpp"
+#include "exp/grid.hpp"
 #include "frieda/report.hpp"
 
 namespace frieda::bench {
@@ -22,15 +24,29 @@ inline std::string ratio(double measured, double paper) {
   return paper > 0 ? TextTable::num(measured / paper, 2) + "x" : "-";
 }
 
-/// Write a CSV next to the binary's working directory, ignoring failures
-/// (benches may run from read-only checkouts).
+/// Write a CSV next to the binary's working directory, tolerating failures
+/// (benches may run from read-only checkouts) but reporting why.
 inline void try_save(const CsvWriter& csv, const std::string& path) {
   try {
     csv.save(path);
     std::printf("  (series written to %s)\n", path.c_str());
-  } catch (...) {
-    std::printf("  (could not write %s; skipping CSV)\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::printf("  (could not write %s; skipping CSV: %s)\n", path.c_str(), e.what());
   }
+}
+
+/// Print the sweep's total wall clock so parallel speedups are visible in
+/// bench output.  Printed outside the tables: every table and CSV stays
+/// byte-identical to sequential execution.
+inline void print_sweep_stats(std::size_t jobs, std::size_t threads, double wall_seconds) {
+  std::printf("  (sweep: %zu jobs on %zu threads, %.2f s wall; set "
+              "FRIEDA_SWEEP_THREADS=1 for the sequential baseline)\n",
+              jobs, threads, wall_seconds);
+}
+
+/// Overload for the common ScenarioSweep case.
+inline void print_sweep_stats(const exp::ScenarioSweep& sweep) {
+  print_sweep_stats(sweep.jobs(), sweep.threads_used(), sweep.wall_seconds());
 }
 
 }  // namespace frieda::bench

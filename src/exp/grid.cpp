@@ -1,0 +1,121 @@
+#include "exp/grid.hpp"
+
+#include "frieda/types.hpp"
+
+namespace frieda::exp {
+
+void Grid::stamp_seed(workload::PaperScenarioOptions& opt, JobId index) const {
+  if (derive_seeds_) opt.seed = derive_seed(seed_base_, index);
+}
+
+std::string Grid::default_tag(const char* app, const char* mode, JobId index) const {
+  return std::string(app) + "/" + mode + "#" + std::to_string(index);
+}
+
+JobId Grid::add(std::string tag, std::function<core::RunReport()> fn) {
+  const JobId id = jobs_.size();
+  if (tag.empty()) tag = "job#" + std::to_string(id);
+  jobs_.push_back({std::move(tag), std::move(fn)});
+  return id;
+}
+
+JobId Grid::add_als(core::PlacementStrategy strategy, workload::PaperScenarioOptions opt,
+                    std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("als", core::to_string(strategy), id);
+  jobs_.push_back({std::move(tag), [strategy, opt = std::move(opt)] {
+                     return workload::run_als(strategy, opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_blast(core::PlacementStrategy strategy, workload::PaperScenarioOptions opt,
+                      std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("blast", core::to_string(strategy), id);
+  jobs_.push_back({std::move(tag), [strategy, opt = std::move(opt)] {
+                     return workload::run_blast(strategy, opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_als_sequential(workload::PaperScenarioOptions opt, std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("als", "sequential", id);
+  jobs_.push_back({std::move(tag), [opt = std::move(opt)] {
+                     return workload::run_als_sequential(opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_blast_sequential(workload::PaperScenarioOptions opt, std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("blast", "sequential", id);
+  jobs_.push_back({std::move(tag), [opt = std::move(opt)] {
+                     return workload::run_blast_sequential(opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_als(core::PlacementStrategy strategy, workload::PaperScenarioOptions opt,
+                    std::shared_ptr<const workload::ImageCompareModel> app, std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("als", core::to_string(strategy), id);
+  jobs_.push_back({std::move(tag), [strategy, opt = std::move(opt), app = std::move(app)] {
+                     return workload::run_als(strategy, *app, opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_blast(core::PlacementStrategy strategy, workload::PaperScenarioOptions opt,
+                      std::shared_ptr<const workload::BlastModel> app, std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("blast", core::to_string(strategy), id);
+  jobs_.push_back({std::move(tag), [strategy, opt = std::move(opt), app = std::move(app)] {
+                     return workload::run_blast(strategy, *app, opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_als_sequential(workload::PaperScenarioOptions opt,
+                               std::shared_ptr<const workload::ImageCompareModel> app,
+                               std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("als", "sequential", id);
+  jobs_.push_back({std::move(tag), [opt = std::move(opt), app = std::move(app)] {
+                     return workload::run_als_sequential(*app, opt);
+                   }});
+  return id;
+}
+
+JobId Grid::add_blast_sequential(workload::PaperScenarioOptions opt,
+                                 std::shared_ptr<const workload::BlastModel> app,
+                                 std::string tag) {
+  const JobId id = jobs_.size();
+  stamp_seed(opt, id);
+  if (tag.empty()) tag = default_tag("blast", "sequential", id);
+  jobs_.push_back({std::move(tag), [opt = std::move(opt), app = std::move(app)] {
+                     return workload::run_blast_sequential(*app, opt);
+                   }});
+  return id;
+}
+
+void ScenarioSweep::run() {
+  outcomes_ = runner_.run(grid_.take());
+}
+
+const JobOutcome<core::RunReport>& ScenarioSweep::outcome(JobId id) const {
+  FRIEDA_CHECK(id < outcomes_.size(),
+               "sweep outcome " << id << " out of range (" << outcomes_.size()
+                                << " jobs ran; was run() called?)");
+  return outcomes_[id];
+}
+
+}  // namespace frieda::exp

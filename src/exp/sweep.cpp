@@ -1,0 +1,84 @@
+#include "exp/sweep.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "runtime/mpmc_queue.hpp"
+
+namespace frieda::exp {
+
+namespace {
+
+// Same SplitMix64 step the Rng seeder uses (common/rng.cpp); duplicated here
+// because that one is an implementation detail of the generator.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  // Whiten the base, fold the index into the whitened stream, mix again.
+  // Two full SplitMix64 steps keep nearby (base, index) pairs uncorrelated.
+  std::uint64_t s = base_seed;
+  const std::uint64_t whitened = splitmix64(s);
+  s = whitened ^ job_index;
+  return splitmix64(s);
+}
+
+namespace detail {
+
+std::size_t resolve_threads(std::size_t requested, std::size_t jobs) {
+  if (jobs == 0) return 0;
+  std::size_t n = requested;
+  if (n == 0) {
+    if (const char* env = std::getenv("FRIEDA_SWEEP_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  return std::min(n, jobs);
+}
+
+std::vector<std::string> run_indexed(std::size_t count, std::size_t threads,
+                                     const std::function<void(std::size_t)>& body) {
+  std::vector<std::string> errors(count);
+  // Each index is claimed by exactly one thread, which is the only writer of
+  // that errors slot; the joins below publish the writes to the caller.
+  const auto guarded = [&](std::size_t i) {
+    try {
+      body(i);
+    } catch (const std::exception& e) {
+      errors[i] = e.what();
+    } catch (...) {
+      errors[i] = "unknown exception";
+    }
+  };
+  if (count == 0) return errors;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) guarded(i);
+    return errors;
+  }
+  rt::MpmcQueue<std::size_t> queue;
+  for (std::size_t i = 0; i < count; ++i) queue.push(i);
+  queue.close();  // pre-filled: consumers drain the buffer, then stop
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      while (auto i = queue.pop()) guarded(*i);
+    });
+  }
+  for (auto& t : pool) t.join();
+  return errors;
+}
+
+}  // namespace detail
+
+}  // namespace frieda::exp

@@ -1,0 +1,118 @@
+// Parallel sweep engine: thread-pooled batch execution of scenario runs.
+//
+// The paper's entire evaluation — Table I, Figures 6–7, the eight ablations —
+// is a grid of *independent, deterministic* simulation runs.  A `SweepRunner`
+// executes such a grid on a fixed pool of `std::thread`s fed through
+// `rt::MpmcQueue` and returns results **in job order**, regardless of thread
+// count or completion order, so a sweep's tables and CSVs are byte-identical
+// to running the same jobs sequentially.
+//
+// Determinism rules (see docs/performance.md, "Batch sweeps"):
+//   * Each job owns its `sim::Simulation`/`cluster::VirtualCluster`/`Rng` —
+//     thread-confined by construction; jobs share only immutable inputs
+//     (e.g. a const workload model, see `workload::make_als_model`).
+//   * Result slot `i` always belongs to job `i`; the pool never reorders.
+//   * Per-job seeds, when derived, come from `derive_seed(base, job_index)`
+//     (SplitMix64), so appending jobs to a grid never perturbs the seeds —
+//     and therefore the results — of the jobs already in it.
+//   * A throwing job is isolated: its outcome carries the error message, all
+//     other jobs still run to completion.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "frieda/report.hpp"
+
+namespace frieda::exp {
+
+/// Derive the seed of job `job_index` in a sweep with base seed `base_seed`.
+/// Pure SplitMix64 mixing of the pair: depends only on (base, index), so a
+/// job keeps its seed when other jobs are added before or after it.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
+/// Pool configuration for one sweep.
+struct SweepOptions {
+  /// Worker threads; 0 = auto (the FRIEDA_SWEEP_THREADS environment
+  /// variable if set, else std::thread::hardware_concurrency()).  The pool
+  /// never spawns more threads than there are jobs.
+  std::size_t threads = 0;
+};
+
+namespace detail {
+
+/// Run `body(i)` for every i in [0, count) on `threads` pool threads.
+/// Returns one error string per index (empty = the call returned normally);
+/// a throwing body never takes down the pool or other indices.
+std::vector<std::string> run_indexed(std::size_t count, std::size_t threads,
+                                     const std::function<void(std::size_t)>& body);
+
+/// Resolve SweepOptions::threads against the environment, the hardware and
+/// the job count (always >= 1 for a non-empty batch).
+std::size_t resolve_threads(std::size_t requested, std::size_t jobs);
+
+}  // namespace detail
+
+/// One unit of sweep work: a tag (for reports and error messages) plus a
+/// thread-confined callable producing the result.
+template <typename R = core::RunReport>
+struct Job {
+  std::string tag;
+  std::function<R()> fn;
+};
+
+/// Result slot of one job: the value, or the error that replaced it.
+template <typename R = core::RunReport>
+struct JobOutcome {
+  std::string tag;
+  std::optional<R> value;  ///< empty when the job threw
+  std::string error;       ///< non-empty when the job threw
+
+  bool ok() const { return value.has_value(); }
+
+  /// The job's result; throws FriedaError naming the job when it failed.
+  const R& get() const {
+    FRIEDA_CHECK(value.has_value(), "sweep job '" << tag << "' failed: " << error);
+    return *value;
+  }
+};
+
+/// Thread-pooled batch executor.  `run()` blocks until every job finished
+/// and returns outcomes in deterministic job order.
+template <typename R = core::RunReport>
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opt = {}) : opt_(opt) {}
+
+  std::vector<JobOutcome<R>> run(std::vector<Job<R>> jobs) {
+    std::vector<JobOutcome<R>> out(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) out[i].tag = jobs[i].tag;
+    threads_used_ = detail::resolve_threads(opt_.threads, jobs.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    auto errors = detail::run_indexed(jobs.size(), threads_used_, [&](std::size_t i) {
+      out[i].value.emplace(jobs[i].fn());
+    });
+    wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    for (std::size_t i = 0; i < errors.size(); ++i) out[i].error = std::move(errors[i]);
+    return out;
+  }
+
+  /// Threads the last run() actually used (0 before the first run).
+  std::size_t threads_used() const { return threads_used_; }
+
+  /// Wall-clock duration of the last run() in seconds.
+  double wall_seconds() const { return wall_seconds_; }
+
+ private:
+  SweepOptions opt_;
+  std::size_t threads_used_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace frieda::exp

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -20,6 +21,7 @@ std::string num(double v) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = instruments_[name];
   if (!slot.counter) {
     FRIEDA_CHECK(!slot.gauge && !slot.stats && !slot.histogram,
@@ -30,6 +32,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = instruments_[name];
   if (!slot.gauge) {
     FRIEDA_CHECK(!slot.counter && !slot.stats && !slot.histogram,
@@ -40,6 +43,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 RunningStats& MetricsRegistry::stats(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = instruments_[name];
   if (!slot.stats) {
     FRIEDA_CHECK(!slot.counter && !slot.gauge && !slot.histogram,
@@ -51,6 +55,7 @@ RunningStats& MetricsRegistry::stats(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double hi,
                                       std::size_t bins) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = instruments_[name];
   if (!slot.histogram) {
     FRIEDA_CHECK(!slot.counter && !slot.gauge && !slot.stats,
@@ -61,26 +66,31 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo, double
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = instruments_.find(name);
   return it == instruments_.end() ? nullptr : it->second.counter.get();
 }
 
 const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = instruments_.find(name);
   return it == instruments_.end() ? nullptr : it->second.gauge.get();
 }
 
 const RunningStats* MetricsRegistry::find_stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = instruments_.find(name);
   return it == instruments_.end() ? nullptr : it->second.stats.get();
 }
 
 const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = instruments_.find(name);
   return it == instruments_.end() ? nullptr : it->second.histogram.get();
 }
 
 std::string MetricsRegistry::csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   os << "name,kind,value\n";
   for (const auto& [name, inst] : instruments_) {
@@ -107,6 +117,7 @@ std::string MetricsRegistry::csv() const {
 }
 
 std::string MetricsRegistry::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
   for (const auto& [name, inst] : instruments_) {
     if (inst.counter) {

@@ -7,14 +7,21 @@
 // hot path then performs a plain pointer-guarded increment — no name lookup,
 // no hashing, no allocation.
 //
-// The registry itself is not synchronized: the simulation engine is single-
-// threaded, and the threaded runtime only touches its registry from the
-// orchestration thread (before workers start and after they join).
+// Threading model (see docs/observability.md): the registry *map* is
+// synchronized — create-or-get, find_* and the exports may be called from
+// concurrent sweep jobs (exp::SweepRunner) sharing one registry.  The
+// *instruments* are not: each returned Counter/Gauge/RunningStats/Histogram
+// must be updated by a single run (thread) at a time, which holds by
+// construction when jobs resolve distinct per-job instrument names.  A
+// `Tracer` is internally synchronized but is a per-run object: attach one
+// tracer to one run; merge exports after the runs, don't share one tracer
+// across simulations whose clocks are unrelated.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/stats.hpp"
@@ -61,7 +68,10 @@ class MetricsRegistry {
   const Histogram* find_histogram(const std::string& name) const;
 
   /// Number of registered instruments.
-  std::size_t size() const { return instruments_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instruments_.size();
+  }
 
   /// Flat CSV export, one row per scalar:
   /// name,kind,value — stats expand to name.count/.mean/.min/.max/.sum rows,
@@ -82,6 +92,7 @@ class MetricsRegistry {
     std::unique_ptr<RunningStats> stats;
     std::unique_ptr<Histogram> histogram;
   };
+  mutable std::mutex mutex_;                       // guards the map, not the instruments
   std::map<std::string, Instrument> instruments_;  // ordered for stable export
 };
 

@@ -77,8 +77,16 @@ core::RunReport execute(Built& b, const core::AppModel& app,
 
 }  // namespace
 
-core::RunReport run_als(core::PlacementStrategy strategy, const PaperScenarioOptions& opt) {
-  ImageCompareModel app(als_params(opt));
+ImageCompareModel make_als_model(const PaperScenarioOptions& opt) {
+  return ImageCompareModel(als_params(opt));
+}
+
+BlastModel make_blast_model(const PaperScenarioOptions& opt) {
+  return BlastModel(blast_params(opt));
+}
+
+core::RunReport run_als(core::PlacementStrategy strategy, const ImageCompareModel& app,
+                        const PaperScenarioOptions& opt) {
   auto b = build_cluster(opt, opt.worker_vms, opt.cores_per_vm,
                          strategy == core::PlacementStrategy::kSharedVolume);
   return execute(b, app, app.catalog(), core::PartitionScheme::kPairwiseAdjacent,
@@ -86,8 +94,12 @@ core::RunReport run_als(core::PlacementStrategy strategy, const PaperScenarioOpt
                  opt.multicore);
 }
 
-core::RunReport run_blast(core::PlacementStrategy strategy, const PaperScenarioOptions& opt) {
-  BlastModel app(blast_params(opt));
+core::RunReport run_als(core::PlacementStrategy strategy, const PaperScenarioOptions& opt) {
+  return run_als(strategy, make_als_model(opt), opt);
+}
+
+core::RunReport run_blast(core::PlacementStrategy strategy, const BlastModel& app,
+                          const PaperScenarioOptions& opt) {
   auto b = build_cluster(opt, opt.worker_vms, opt.cores_per_vm,
                          strategy == core::PlacementStrategy::kSharedVolume);
   return execute(b, app, app.catalog(), core::PartitionScheme::kSingleFile,
@@ -95,8 +107,12 @@ core::RunReport run_blast(core::PlacementStrategy strategy, const PaperScenarioO
                  opt.multicore);
 }
 
-core::RunReport run_als_sequential(const PaperScenarioOptions& opt) {
-  ImageCompareModel app(als_params(opt));
+core::RunReport run_blast(core::PlacementStrategy strategy, const PaperScenarioOptions& opt) {
+  return run_blast(strategy, make_blast_model(opt), opt);
+}
+
+core::RunReport run_als_sequential(const ImageCompareModel& app,
+                                   const PaperScenarioOptions& opt) {
   auto b = build_cluster(opt, 1, 1);
   // Sequential baseline: one VM, one program instance, data already local.
   return execute(b, app, app.catalog(), core::PartitionScheme::kPairwiseAdjacent,
@@ -104,12 +120,19 @@ core::RunReport run_als_sequential(const PaperScenarioOptions& opt) {
                  core::PlacementStrategy::kPrePartitionLocal, opt, /*multicore=*/false);
 }
 
-core::RunReport run_blast_sequential(const PaperScenarioOptions& opt) {
-  BlastModel app(blast_params(opt));
+core::RunReport run_als_sequential(const PaperScenarioOptions& opt) {
+  return run_als_sequential(make_als_model(opt), opt);
+}
+
+core::RunReport run_blast_sequential(const BlastModel& app, const PaperScenarioOptions& opt) {
   auto b = build_cluster(opt, 1, 1);
   return execute(b, app, app.catalog(), core::PartitionScheme::kSingleFile,
                  core::CommandTemplate("blastall -p blastp -d /data/db $inp1"),
                  core::PlacementStrategy::kPrePartitionLocal, opt, /*multicore=*/false);
+}
+
+core::RunReport run_blast_sequential(const PaperScenarioOptions& opt) {
+  return run_blast_sequential(make_blast_model(opt), opt);
 }
 
 }  // namespace frieda::workload

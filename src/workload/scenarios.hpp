@@ -36,15 +36,38 @@ struct PaperScenarioOptions {
   std::function<void(sim::Simulation&, cluster::VirtualCluster&, core::FriedaRun&)> arrange;
 };
 
+/// Build the ALS dataset/model these options describe.  Constructing the
+/// model (catalog generation, per-file size draws) is the fixed per-run setup
+/// cost; it depends only on `opt.scale`, so runs that share a scale can share
+/// one instance.  Models are immutable after construction and safe to share
+/// by const reference across concurrently executing runs (exp::SweepRunner
+/// jobs).
+ImageCompareModel make_als_model(const PaperScenarioOptions& opt);
+
+/// Build the BLAST dataset/model (see make_als_model for sharing rules;
+/// BLAST additionally pre-draws the per-sequence search costs).
+BlastModel make_blast_model(const PaperScenarioOptions& opt);
+
 /// Run the ALS image-comparison workload with the given strategy.
 core::RunReport run_als(core::PlacementStrategy strategy, const PaperScenarioOptions& opt = {});
+
+/// Same, over a shared prebuilt model (must match `opt.scale`).
+core::RunReport run_als(core::PlacementStrategy strategy, const ImageCompareModel& app,
+                        const PaperScenarioOptions& opt);
 
 /// Run the BLAST workload with the given strategy.
 core::RunReport run_blast(core::PlacementStrategy strategy,
                           const PaperScenarioOptions& opt = {});
 
+/// Same, over a shared prebuilt model (must match `opt.scale`).
+core::RunReport run_blast(core::PlacementStrategy strategy, const BlastModel& app,
+                          const PaperScenarioOptions& opt);
+
 /// Sequential baselines of Table I: one VM, one program instance, local data.
 core::RunReport run_als_sequential(const PaperScenarioOptions& opt = {});
+core::RunReport run_als_sequential(const ImageCompareModel& app,
+                                   const PaperScenarioOptions& opt);
 core::RunReport run_blast_sequential(const PaperScenarioOptions& opt = {});
+core::RunReport run_blast_sequential(const BlastModel& app, const PaperScenarioOptions& opt);
 
 }  // namespace frieda::workload

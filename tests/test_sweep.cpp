@@ -1,0 +1,228 @@
+// Sweep engine tests: thread-count invariance of real scenario runs, seed
+// derivation, deterministic result ordering under skewed job timings,
+// exception isolation, and concurrent create-or-get on a shared
+// MetricsRegistry (the test the tsan preset exists for).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "exp/grid.hpp"
+#include "exp/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "workload/scenarios.hpp"
+
+namespace frieda::exp {
+namespace {
+
+using core::PlacementStrategy;
+using workload::PaperScenarioOptions;
+
+// ---------------------------------------------------------------------------
+// Field-by-field RunReport comparison (simulated runs are deterministic, so
+// every field — including derived doubles — must match exactly).
+// ---------------------------------------------------------------------------
+
+void expect_reports_equal(const core::RunReport& a, const core::RunReport& b) {
+  EXPECT_EQ(a.app, b.app);
+  EXPECT_EQ(a.strategy, b.strategy);
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.ready_time, b.ready_time);
+  EXPECT_EQ(a.start_time, b.start_time);
+  EXPECT_EQ(a.staging_end, b.staging_end);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.units_total, b.units_total);
+  EXPECT_EQ(a.units_completed, b.units_completed);
+  EXPECT_EQ(a.units_failed, b.units_failed);
+  EXPECT_EQ(a.units_unprocessed, b.units_unprocessed);
+  EXPECT_EQ(a.bytes_moved, b.bytes_moved);
+  EXPECT_EQ(a.transfers, b.transfers);
+  EXPECT_EQ(a.workers_isolated, b.workers_isolated);
+  EXPECT_EQ(a.transfer_busy(), b.transfer_busy());
+  EXPECT_EQ(a.compute_busy(), b.compute_busy());
+  EXPECT_EQ(a.overlap(), b.overlap());
+  // Per-unit and per-worker records, via their canonical CSV renderings.
+  EXPECT_EQ(a.units_csv(), b.units_csv());
+  EXPECT_EQ(a.workers_csv(), b.workers_csv());
+}
+
+std::vector<Job<core::RunReport>> scenario_jobs() {
+  Grid grid;
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  grid.add_als(PlacementStrategy::kPrePartitionRemote, opt);
+  grid.add_als(PlacementStrategy::kRealTime, opt);
+  grid.add_blast(PlacementStrategy::kNoPartitionCommon, opt);
+  grid.add_blast(PlacementStrategy::kRealTime, opt);
+  return grid.take();
+}
+
+TEST(Sweep, ThreadCountInvariance) {
+  SweepRunner<> one(SweepOptions{1});
+  SweepRunner<> eight(SweepOptions{8});
+  const auto seq = one.run(scenario_jobs());
+  const auto par = eight.run(scenario_jobs());
+  EXPECT_EQ(one.threads_used(), 1u);
+  EXPECT_EQ(eight.threads_used(), 4u);  // capped at the job count
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_TRUE(seq[i].ok()) << seq[i].error;
+    ASSERT_TRUE(par[i].ok()) << par[i].error;
+    EXPECT_EQ(seq[i].tag, par[i].tag);
+    expect_reports_equal(seq[i].get(), par[i].get());
+  }
+}
+
+TEST(Sweep, SharedModelMatchesPerJobModel) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  const auto shared =
+      std::make_shared<const workload::ImageCompareModel>(workload::make_als_model(opt));
+  Grid grid;
+  grid.add_als(PlacementStrategy::kRealTime, opt);
+  grid.add_als(PlacementStrategy::kRealTime, opt, shared);
+  SweepRunner<> runner;
+  const auto out = runner.run(grid.take());
+  expect_reports_equal(out[0].get(), out[1].get());
+}
+
+// ---------------------------------------------------------------------------
+// Seed derivation.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, DerivedSeedsDoNotCollide) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 2012ull, 0xdeadbeefull}) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      EXPECT_TRUE(seen.insert(derive_seed(base, i)).second)
+          << "collision at base=" << base << " index=" << i;
+    }
+  }
+}
+
+TEST(Sweep, DerivedSeedsAreAppendStable) {
+  // A job's seed depends only on (base, index) — adding jobs after it (or
+  // asking again) never changes it.
+  EXPECT_EQ(derive_seed(2012, 3), derive_seed(2012, 3));
+  EXPECT_NE(derive_seed(2012, 3), derive_seed(2012, 4));
+  EXPECT_NE(derive_seed(2012, 0), derive_seed(2013, 0));
+  EXPECT_NE(derive_seed(2012, 0), 2012u);  // whitened, not passed through
+}
+
+// ---------------------------------------------------------------------------
+// Ordering and isolation.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, ResultsKeepJobOrderUnderSkewedTimings) {
+  // Early jobs sleep longest, so completion order is roughly the reverse of
+  // submission order; result slots must still line up with job indices.
+  constexpr std::size_t kJobs = 16;
+  std::vector<Job<std::size_t>> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs.push_back({"job" + std::to_string(i), [i] {
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds((kJobs - i) * 3));
+                      return i;
+                    }});
+  }
+  SweepRunner<std::size_t> runner(SweepOptions{8});
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_EQ(out.size(), kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(out[i].tag, "job" + std::to_string(i));
+    ASSERT_TRUE(out[i].ok());
+    EXPECT_EQ(out[i].get(), i);
+  }
+}
+
+TEST(Sweep, ThrowingJobIsIsolated) {
+  std::vector<Job<int>> jobs;
+  jobs.push_back({"fine-a", [] { return 1; }});
+  jobs.push_back({"boom", []() -> int { throw std::runtime_error("deliberate failure"); }});
+  jobs.push_back({"fine-b", [] { return 3; }});
+  SweepRunner<int> runner(SweepOptions{2});
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].ok());
+  EXPECT_EQ(out[0].get(), 1);
+  EXPECT_FALSE(out[1].ok());
+  EXPECT_NE(out[1].error.find("deliberate failure"), std::string::npos);
+  EXPECT_THROW(out[1].get(), FriedaError);
+  try {
+    out[1].get();
+  } catch (const FriedaError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos)
+        << "error must name the failed job";
+  }
+  EXPECT_TRUE(out[2].ok());
+  EXPECT_EQ(out[2].get(), 3);
+}
+
+TEST(Sweep, EmptyBatchAndThreadResolution) {
+  SweepRunner<int> runner;
+  EXPECT_TRUE(runner.run({}).empty());
+  // Never more threads than jobs; at least one thread for a non-empty batch.
+  EXPECT_EQ(detail::resolve_threads(8, 3), 3u);
+  EXPECT_EQ(detail::resolve_threads(2, 100), 2u);
+  EXPECT_GE(detail::resolve_threads(0, 100), 1u);
+}
+
+TEST(Sweep, EnvVarOverridesThreadCount) {
+  ASSERT_EQ(setenv("FRIEDA_SWEEP_THREADS", "3", 1), 0);
+  EXPECT_EQ(detail::resolve_threads(0, 100), 3u);
+  EXPECT_EQ(detail::resolve_threads(0, 2), 2u);   // still capped by jobs
+  EXPECT_EQ(detail::resolve_threads(5, 100), 5u); // explicit request wins
+  ASSERT_EQ(unsetenv("FRIEDA_SWEEP_THREADS"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent sweep jobs sharing one MetricsRegistry: the registry map is
+// synchronized; each job updates only its own per-job instruments.  Run this
+// under the asan and tsan presets (see docs/performance.md).
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, SharedMetricsRegistryAcrossJobs) {
+  obs::MetricsRegistry registry;
+  constexpr std::size_t kJobs = 32;
+  std::vector<Job<int>> jobs;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    jobs.push_back({"metrics" + std::to_string(i), [i, &registry] {
+                      const auto name = "job" + std::to_string(i);
+                      auto& counter = registry.counter(name + ".units");
+                      auto& stats = registry.stats(name + ".latency");
+                      for (int k = 0; k < 100; ++k) {
+                        counter.inc();
+                        stats.add(static_cast<double>(k));
+                      }
+                      registry.gauge(name + ".makespan").set(static_cast<double>(i));
+                      return static_cast<int>(registry.size() > 0);
+                    }});
+  }
+  SweepRunner<int> runner(SweepOptions{8});
+  const auto out = runner.run(std::move(jobs));
+  EXPECT_EQ(registry.size(), 3 * kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(out[i].ok()) << out[i].error;
+    const auto name = "job" + std::to_string(i);
+    const auto* counter = registry.find_counter(name + ".units");
+    ASSERT_NE(counter, nullptr);
+    EXPECT_EQ(counter->value(), 100u);
+    const auto* stats = registry.find_stats(name + ".latency");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->count(), 100u);
+    const auto* gauge = registry.find_gauge(name + ".makespan");
+    ASSERT_NE(gauge, nullptr);
+    EXPECT_EQ(gauge->value(), static_cast<double>(i));
+  }
+  // Exports see a consistent snapshot after the sweep.
+  EXPECT_NE(registry.csv().find("job0.units,counter,100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frieda::exp
