@@ -102,6 +102,6 @@ int main() {
                  "there, cutting WAN traffic and the makespan penalty of a slow WAN");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_locality.csv");
-  bench::print_sweep_stats(outcomes.size(), runner.threads_used(), runner.wall_seconds());
+  bench::print_sweep_stats(runner);
   return 0;
 }

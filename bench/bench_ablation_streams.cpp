@@ -109,6 +109,6 @@ int main() {
   table.add_note("this is the GridFTP-style mechanism the paper lists as future work");
   std::printf("%s", table.to_string().c_str());
   bench::try_save(csv, "ablation_streams.csv");
-  bench::print_sweep_stats(outcomes.size(), runner.threads_used(), runner.wall_seconds());
+  bench::print_sweep_stats(runner);
   return 0;
 }

@@ -1,7 +1,8 @@
 // EXP-M0 — google-benchmark microbenchmarks of the substrate primitives:
 // event queue throughput, coroutine channel round trips, the max-min fair
-// solver, partition generation, a full small FRIEDA run per iteration, and
-// sweep-engine throughput (1 thread vs. a pool) on a fixed scenario grid.
+// solver, partition generation, a full small FRIEDA run per iteration,
+// sweep-engine throughput (1 thread vs. a pool) on a fixed scenario grid,
+// and sweep memoization (duplicate-heavy grid, uncached vs. warm cache).
 #include <benchmark/benchmark.h>
 
 #include "cluster/cluster.hpp"
@@ -186,6 +187,7 @@ void BM_SweepThroughput(benchmark::State& state) {
       grid.add_blast(core::PlacementStrategy::kRealTime, opt, model);
     }
     exp::SweepRunner<> runner(exp::SweepOptions{threads});
+    runner.set_cache(nullptr);  // measuring execution, not memoization
     const auto outcomes = runner.run(grid.take());
     for (const auto& o : outcomes) benchmark::DoNotOptimize(o.get().units_completed);
   }
@@ -193,6 +195,38 @@ void BM_SweepThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepThroughput)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_SweepMemoized(benchmark::State& state) {
+  // Memoization measurement: a duplicate-heavy 32-job BLAST grid (the same
+  // 4 strategy cells repeated 8 times — the shape ablation drivers produce
+  // when several tables re-run a shared baseline).  Arg(0) runs with the
+  // cache disabled (all 32 cells execute); Arg(1) keeps one ResultCache warm
+  // across iterations, so every cell is served from cache and the duplicate
+  // cells' execution cost is eliminated.  The ratio is what cross-grid
+  // memoization buys; like BM_SweepThroughput it is wall-clock honest even
+  // on a single-core container, since no pool scaling is involved.
+  const bool memoized = state.range(0) == 1;
+  workload::PaperScenarioOptions base;
+  base.scale = 0.1;
+  const auto model =
+      std::make_shared<const workload::BlastModel>(workload::make_blast_model(base));
+  exp::ResultCache<core::RunReport> cache;  // local: iteration-to-iteration warmth
+  for (auto _ : state) {
+    exp::Grid grid;
+    for (int rep = 0; rep < 8; ++rep) {
+      grid.add_blast(core::PlacementStrategy::kNoPartitionCommon, base, model);
+      grid.add_blast(core::PlacementStrategy::kPrePartitionRemote, base, model);
+      grid.add_blast(core::PlacementStrategy::kPrePartitionLocal, base, model);
+      grid.add_blast(core::PlacementStrategy::kRealTime, base, model);
+    }
+    exp::SweepRunner<> runner(exp::SweepOptions{1});
+    runner.set_cache(memoized ? &cache : nullptr);
+    const auto outcomes = runner.run(grid.take());
+    for (const auto& o : outcomes) benchmark::DoNotOptimize(o.get().units_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SweepMemoized)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

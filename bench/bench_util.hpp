@@ -36,17 +36,31 @@ inline void try_save(const CsvWriter& csv, const std::string& path) {
 }
 
 /// Print the sweep's total wall clock so parallel speedups are visible in
-/// bench output.  Printed outside the tables: every table and CSV stays
-/// byte-identical to sequential execution.
-inline void print_sweep_stats(std::size_t jobs, std::size_t threads, double wall_seconds) {
-  std::printf("  (sweep: %zu jobs on %zu threads, %.2f s wall; set "
-              "FRIEDA_SWEEP_THREADS=1 for the sequential baseline)\n",
-              jobs, threads, wall_seconds);
+/// bench output, plus the scheduler's memoization counters (runs executed
+/// vs. requested — hits are cells served from the in-process result cache,
+/// see docs/performance.md "Memoization and cost-aware scheduling").
+/// Printed outside the tables: every table and CSV stays byte-identical to
+/// sequential, uncached execution.
+inline void print_sweep_stats(std::size_t jobs, std::size_t threads, double wall_seconds,
+                              std::size_t runs_executed, std::size_t cache_hits) {
+  std::printf("  (sweep: %zu jobs on %zu threads, %.2f s wall; %zu executed, "
+              "%zu cache hit%s; set FRIEDA_SWEEP_THREADS=1 for the sequential "
+              "baseline)\n",
+              jobs, threads, wall_seconds, runs_executed, cache_hits,
+              cache_hits == 1 ? "" : "s");
 }
 
 /// Overload for the common ScenarioSweep case.
 inline void print_sweep_stats(const exp::ScenarioSweep& sweep) {
-  print_sweep_stats(sweep.jobs(), sweep.threads_used(), sweep.wall_seconds());
+  print_sweep_stats(sweep.jobs(), sweep.threads_used(), sweep.wall_seconds(),
+                    sweep.runs_executed(), sweep.cache_hits());
+}
+
+/// Overload for drivers that use a bare SweepRunner with a custom result.
+template <typename R>
+inline void print_sweep_stats(const exp::SweepRunner<R>& runner) {
+  print_sweep_stats(runner.runs_requested(), runner.threads_used(), runner.wall_seconds(),
+                    runner.runs_executed(), runner.cache_hits());
 }
 
 }  // namespace frieda::bench

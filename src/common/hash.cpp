@@ -1,0 +1,100 @@
+#include "common/hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace frieda {
+
+namespace {
+
+// SplitMix64 finalizer (same constants as common/rng.cpp and exp/sweep.cpp):
+// full-avalanche mixing of one word.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Per-absorption type tags; part of the stable encoding, never reorder.
+constexpr std::uint64_t kTagU64 = 0x01;
+constexpr std::uint64_t kTagI64 = 0x02;
+constexpr std::uint64_t kTagBool = 0x03;
+constexpr std::uint64_t kTagF64 = 0x04;
+constexpr std::uint64_t kTagStr = 0x05;
+
+}  // namespace
+
+std::string Fingerprint::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) out[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+  for (int i = 0; i < 16; ++i) out[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+  return out;
+}
+
+StableHasher::StableHasher()
+    // Distinctly keyed lanes (hex digits of pi and e); the two lanes see the
+    // same words but from unrelated starting states, giving 128 usable bits.
+    : a_(0x243f6a8885a308d3ull), b_(0xb7e151628aed2a6bull) {}
+
+void StableHasher::absorb(std::uint64_t word) {
+  // Each lane folds the word in with its own odd multiplier, then runs the
+  // full finalizer so every absorbed bit avalanches before the next word.
+  a_ = mix64((a_ + word) * 0x9e3779b97f4a7c15ull);
+  b_ = mix64((b_ ^ word) * 0xc2b2ae3d27d4eb4full);
+}
+
+StableHasher& StableHasher::mix_u64(std::uint64_t v) {
+  absorb(kTagU64);
+  absorb(v);
+  return *this;
+}
+
+StableHasher& StableHasher::mix_i64(std::int64_t v) {
+  absorb(kTagI64);
+  absorb(static_cast<std::uint64_t>(v));
+  return *this;
+}
+
+StableHasher& StableHasher::mix_bool(bool v) {
+  absorb(kTagBool);
+  absorb(v ? 1 : 0);
+  return *this;
+}
+
+StableHasher& StableHasher::mix_f64(double v) {
+  if (v == 0.0) v = 0.0;  // fold -0.0 (compares equal) onto +0.0
+  if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  absorb(kTagF64);
+  absorb(bits);
+  return *this;
+}
+
+StableHasher& StableHasher::mix_str(std::string_view v) {
+  absorb(kTagStr);
+  absorb(v.size());
+  // Little-endian 8-byte packing, explicit so the encoding does not depend
+  // on host byte order; the final partial chunk is zero-padded (safe because
+  // the length was absorbed first).
+  for (std::size_t i = 0; i < v.size(); i += 8) {
+    std::uint64_t word = 0;
+    const std::size_t n = std::min<std::size_t>(8, v.size() - i);
+    for (std::size_t k = 0; k < n; ++k) {
+      word |= static_cast<std::uint64_t>(static_cast<unsigned char>(v[i + k])) << (8 * k);
+    }
+    absorb(word);
+  }
+  return *this;
+}
+
+Fingerprint StableHasher::digest() const {
+  // Cross-mix the lanes on the way out so digest bits depend on both.
+  return {mix64(a_ ^ (b_ >> 32)), mix64(b_ ^ (a_ << 32) ^ 0x9e3779b97f4a7c15ull)};
+}
+
+}  // namespace frieda

@@ -6,6 +6,13 @@
 // job returns its `JobId`; after the sweep, that id indexes the outcome, so a
 // bench driver reads results exactly where it used to call `run_als(...)`.
 //
+// Scenario jobs are annotated for the scheduler on the way in: a config
+// fingerprint (memoization key, omitted when the options carry
+// arrange/tracer/metrics hooks) and a relative cost estimate (units × scale
+// over instance slots) for longest-first dispatch.  Ad-hoc `add()` jobs stay
+// unhashable and uncached — the engine cannot see inside the callable — but
+// accept an explicit cost override.
+//
 // `ScenarioSweep` bundles the grid with a runner and keeps the outcomes:
 //
 //   exp::ScenarioSweep sweep;
@@ -43,8 +50,10 @@ class Grid {
   /// grids that want independent randomness per cell.
   explicit Grid(std::uint64_t seed_base) : seed_base_(seed_base), derive_seeds_(true) {}
 
-  /// Add an arbitrary job (any callable returning a RunReport).
-  JobId add(std::string tag, std::function<core::RunReport()> fn);
+  /// Add an arbitrary job (any callable returning a RunReport).  Never
+  /// memoized; `cost` is the relative wall-time estimate used for
+  /// longest-first dispatch (default: unit cost, i.e. FIFO among peers).
+  JobId add(std::string tag, std::function<core::RunReport()> fn, double cost = 1.0);
 
   /// Paper scenarios; `tag` defaults to "<app>/<strategy>#<index>".
   JobId add_als(core::PlacementStrategy strategy, workload::PaperScenarioOptions opt,
@@ -77,6 +86,10 @@ class Grid {
   // Apply the derived-seed policy for the job about to occupy `index`.
   void stamp_seed(workload::PaperScenarioOptions& opt, JobId index) const;
   std::string default_tag(const char* app, const char* mode, JobId index) const;
+  // Annotate (fingerprint + cost) and push one paper-scenario job.
+  JobId push_scenario(const char* app, const char* mode, bool sequential,
+                      const workload::PaperScenarioOptions& opt, std::string tag,
+                      std::function<core::RunReport()> fn);
 
   std::uint64_t seed_base_ = 0;
   bool derive_seeds_ = false;
@@ -84,6 +97,9 @@ class Grid {
 };
 
 /// A grid plus the runner that executes it and the outcomes it produced.
+/// Lifecycle is explicit and checked: add jobs, run() exactly once, then
+/// query outcomes — run() on an already-run sweep and outcome() on a
+/// never-run sweep both throw FriedaError.
 class ScenarioSweep {
  public:
   explicit ScenarioSweep(SweepOptions opt = {}) : runner_(opt) {}
@@ -91,10 +107,15 @@ class ScenarioSweep {
   /// The job builder; add jobs here before calling run().
   Grid& grid() { return grid_; }
 
-  /// Execute every accumulated job; blocks until all finished.
+  /// Execute every accumulated job; blocks until all finished.  Callable
+  /// exactly once per sweep (throws FriedaError on a second call — build a
+  /// new ScenarioSweep to re-run).
   void run();
 
-  /// Outcome of job `id` (valid after run()).
+  /// True once run() has executed.
+  bool ran() const { return ran_; }
+
+  /// Outcome of job `id`; throws FriedaError before run().
   const JobOutcome<core::RunReport>& outcome(JobId id) const;
 
   /// Report of job `id`; throws FriedaError naming the job if it failed.
@@ -109,10 +130,26 @@ class ScenarioSweep {
   /// Wall-clock seconds of the executed sweep.
   double wall_seconds() const { return runner_.wall_seconds(); }
 
+  /// Memoization statistics of the executed sweep (see SweepRunner).
+  std::size_t runs_requested() const { return runner_.runs_requested(); }
+  std::size_t runs_executed() const { return runner_.runs_executed(); }
+  std::size_t cache_hits() const { return runner_.cache_hits(); }
+
+  /// Dispatch order of the executed jobs (longest estimated cost first).
+  const std::vector<std::size_t>& schedule() const { return runner_.schedule(); }
+
+  /// The runner's progress metrics (jobs-completed / cache-hit counters,
+  /// in-flight gauge, wall-per-job stats).
+  obs::MetricsRegistry& metrics() { return runner_.metrics(); }
+
+  /// Replace or disable the consulted result cache (see SweepRunner).
+  void set_cache(ResultCache<core::RunReport>* cache) { runner_.set_cache(cache); }
+
  private:
   Grid grid_;
   SweepRunner<core::RunReport> runner_;
   std::vector<JobOutcome<core::RunReport>> outcomes_;
+  bool ran_ = false;
 };
 
 }  // namespace frieda::exp

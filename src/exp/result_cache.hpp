@@ -1,0 +1,89 @@
+// In-process memoization of sweep results, keyed by config fingerprint.
+//
+// Every paper scenario is a deterministic function of its configuration
+// (app kind, placement strategy, every PaperScenarioOptions field — the
+// seed included), so two jobs with the same `Fingerprint` produce
+// field-identical `RunReport`s.  A `ResultCache` exploits that: the sweep
+// runner consults it before dispatching a job and serves repeated cells —
+// within one grid or across grids of the same process — from the cache
+// instead of re-simulating them.  Ablation drivers that re-run a shared
+// baseline (e.g. the scale-0.2 real-time run) pay for it once.
+//
+// Thread safety: lookup/insert/size/clear are mutex-synchronized; values
+// are returned *by copy* so a cached report can never be mutated or
+// invalidated under a concurrent reader.  Jobs whose configuration cannot
+// be fingerprinted (ad-hoc callables, options with `arrange`/tracer/metrics
+// hooks) never reach the cache — see exp::scenario_fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/hash.hpp"
+
+namespace frieda::exp {
+
+template <typename R>
+class ResultCache {
+ public:
+  /// Copy of the cached value, or nullopt on miss.  Counts toward the
+  /// hit/miss statistics.
+  std::optional<R> lookup(const Fingerprint& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  /// Store `value` under `key`.  The first insert wins (identical keys mean
+  /// identical values, so re-inserting would only copy for nothing); returns
+  /// whether the entry was new.
+  bool insert(const Fingerprint& key, const R& value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.emplace(key, value).second;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+  }
+
+  /// Lifetime lookup statistics (for tests and progress lines).
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+
+  /// The process-wide cache for result type R — the default every
+  /// SweepRunner<R> consults, which is what makes memoization work *across*
+  /// the independent grids of one driver.  Use `SweepRunner::set_cache`
+  /// with a local instance (or nullptr) to isolate or disable.
+  static ResultCache& global() {
+    static ResultCache cache;
+    return cache;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::uint64_t hits_ = 0;
+  mutable std::uint64_t misses_ = 0;
+  std::map<Fingerprint, R> map_;
+};
+
+}  // namespace frieda::exp

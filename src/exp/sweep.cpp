@@ -1,8 +1,12 @@
 #include "exp/sweep.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <numeric>
 #include <thread>
 
+#include "common/log.hpp"
 #include "runtime/mpmc_queue.hpp"
 
 namespace frieda::exp {
@@ -32,13 +36,28 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
 
 namespace detail {
 
+std::size_t parse_threads_env(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return 0;  // no digits, or trailing junk
+  if (errno == ERANGE || parsed <= 0 || parsed > kMaxSweepThreads) return 0;
+  return static_cast<std::size_t>(parsed);
+}
+
 std::size_t resolve_threads(std::size_t requested, std::size_t jobs) {
   if (jobs == 0) return 0;
   std::size_t n = requested;
   if (n == 0) {
     if (const char* env = std::getenv("FRIEDA_SWEEP_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) n = static_cast<std::size_t>(parsed);
+      n = parse_threads_env(env);
+      if (n == 0) {
+        FLOG(kWarn, "sweep",
+             "ignoring FRIEDA_SWEEP_THREADS='"
+                 << env << "' (expected an integer in [1, " << kMaxSweepThreads
+                 << "]); falling back to hardware_concurrency");
+      }
     }
   }
   if (n == 0) n = std::thread::hardware_concurrency();
@@ -46,33 +65,44 @@ std::size_t resolve_threads(std::size_t requested, std::size_t jobs) {
   return std::min(n, jobs);
 }
 
-std::vector<std::string> run_indexed(std::size_t count, std::size_t threads,
+std::vector<std::size_t> longest_first(const std::vector<double>& costs) {
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return costs[a] > costs[b]; });
+  return order;
+}
+
+std::vector<std::string> run_indexed(const std::vector<std::size_t>& indices,
+                                     std::size_t threads,
                                      const std::function<void(std::size_t)>& body) {
-  std::vector<std::string> errors(count);
-  // Each index is claimed by exactly one thread, which is the only writer of
-  // that errors slot; the joins below publish the writes to the caller.
-  const auto guarded = [&](std::size_t i) {
+  std::vector<std::string> errors(indices.size());
+  // Each position is claimed by exactly one thread, which is the only writer
+  // of that errors slot; the joins below publish the writes to the caller.
+  const auto guarded = [&](std::size_t pos) {
     try {
-      body(i);
+      body(indices[pos]);
     } catch (const std::exception& e) {
-      errors[i] = e.what();
+      errors[pos] = e.what();
     } catch (...) {
-      errors[i] = "unknown exception";
+      errors[pos] = "unknown exception";
     }
   };
-  if (count == 0) return errors;
+  if (indices.empty()) return errors;
   if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) guarded(i);
+    for (std::size_t pos = 0; pos < indices.size(); ++pos) guarded(pos);
     return errors;
   }
+  // Positions are queued in schedule order, so the FIFO pool dispatches
+  // longest-first when the caller sorted `indices` that way.
   rt::MpmcQueue<std::size_t> queue;
-  for (std::size_t i = 0; i < count; ++i) queue.push(i);
+  for (std::size_t pos = 0; pos < indices.size(); ++pos) queue.push(pos);
   queue.close();  // pre-filled: consumers drain the buffer, then stop
   std::vector<std::thread> pool;
   pool.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     pool.emplace_back([&] {
-      while (auto i = queue.pop()) guarded(*i);
+      while (auto pos = queue.pop()) guarded(*pos);
     });
   }
   for (auto& t : pool) t.join();

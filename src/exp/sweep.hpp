@@ -1,4 +1,5 @@
-// Parallel sweep engine: thread-pooled batch execution of scenario runs.
+// Parallel sweep engine: memoized, cost-aware batch execution of scenario
+// runs on a thread pool.
 //
 // The paper's entire evaluation — Table I, Figures 6–7, the eight ablations —
 // is a grid of *independent, deterministic* simulation runs.  A `SweepRunner`
@@ -7,28 +8,49 @@
 // count or completion order, so a sweep's tables and CSVs are byte-identical
 // to running the same jobs sequentially.
 //
-// Determinism rules (see docs/performance.md, "Batch sweeps"):
+// Scheduling (see docs/performance.md, "Memoization and cost-aware
+// scheduling"):
+//   * Jobs carrying a config `Fingerprint` are memoized: a `ResultCache`
+//     (process-global by default) is consulted before dispatch, duplicate
+//     cells within one batch execute once, and fresh results are published
+//     back so later grids of the same process hit too.  Cached outcomes are
+//     copies of deterministic runs, hence field-identical to executing.
+//   * Jobs are dispatched longest-first by their `cost` estimate, so one
+//     expensive cell at the tail of a skewed grid no longer idles the rest
+//     of the pool.  Outcome slots stay in job order; only the dispatch
+//     order changes, and `schedule()` exposes it for tests.
+//   * A `frieda_obs::MetricsRegistry` owned by the runner tracks progress
+//     (sweep.jobs_completed / sweep.cache_hits / sweep.runs_executed
+//     counters, a sweep.in_flight gauge, sweep.wall_per_job_s stats).
+//
+// Determinism rules:
 //   * Each job owns its `sim::Simulation`/`cluster::VirtualCluster`/`Rng` —
 //     thread-confined by construction; jobs share only immutable inputs
 //     (e.g. a const workload model, see `workload::make_als_model`).
-//   * Result slot `i` always belongs to job `i`; the pool never reorders.
+//   * Result slot `i` always belongs to job `i`; neither the pool nor the
+//     longest-first schedule ever reorders outcomes.
 //   * Per-job seeds, when derived, come from `derive_seed(base, job_index)`
 //     (SplitMix64), so appending jobs to a grid never perturbs the seeds —
 //     and therefore the results — of the jobs already in it.
 //   * A throwing job is isolated: its outcome carries the error message, all
-//     other jobs still run to completion.
+//     other jobs still run to completion.  Failed runs are never cached.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
+#include "exp/result_cache.hpp"
 #include "frieda/report.hpp"
+#include "obs/metrics.hpp"
 
 namespace frieda::exp {
 
@@ -40,31 +62,68 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
 /// Pool configuration for one sweep.
 struct SweepOptions {
   /// Worker threads; 0 = auto (the FRIEDA_SWEEP_THREADS environment
-  /// variable if set, else std::thread::hardware_concurrency()).  The pool
-  /// never spawns more threads than there are jobs.
+  /// variable if set and valid, else std::thread::hardware_concurrency()).
+  /// The pool never spawns more threads than there are jobs to execute.
   std::size_t threads = 0;
+
+  /// Opt-out for memoization: when false the runner never consults or fills
+  /// a result cache and every job executes, duplicates included.
+  bool memoize = true;
 };
 
 namespace detail {
 
-/// Run `body(i)` for every i in [0, count) on `threads` pool threads.
-/// Returns one error string per index (empty = the call returned normally);
-/// a throwing body never takes down the pool or other indices.
-std::vector<std::string> run_indexed(std::size_t count, std::size_t threads,
+/// Values FRIEDA_SWEEP_THREADS will accept; anything above is treated as a
+/// typo rather than a request for ten thousand threads.
+constexpr long kMaxSweepThreads = 4096;
+
+/// Parse a FRIEDA_SWEEP_THREADS value.  Returns the thread count, or 0 when
+/// the text is not a plain integer in [1, kMaxSweepThreads] (garbage, empty,
+/// zero, negative, trailing junk, or absurdly large) — the caller falls back
+/// and logs.
+std::size_t parse_threads_env(const char* text);
+
+/// Run `body(i)` for every i in `indices` on `threads` pool threads, handing
+/// indices to workers in the given order (the dispatch schedule).  Returns
+/// one error string per *position in `indices`* (empty = the call returned
+/// normally); a throwing body never takes down the pool or other indices.
+std::vector<std::string> run_indexed(const std::vector<std::size_t>& indices,
+                                     std::size_t threads,
                                      const std::function<void(std::size_t)>& body);
 
 /// Resolve SweepOptions::threads against the environment, the hardware and
-/// the job count (always >= 1 for a non-empty batch).
+/// the job count (always >= 1 for a non-empty batch).  Invalid
+/// FRIEDA_SWEEP_THREADS values fall back to hardware_concurrency with a
+/// warning log line instead of being silently swallowed.
 std::size_t resolve_threads(std::size_t requested, std::size_t jobs);
+
+/// Dispatch order for the given cost estimates: indices sorted by
+/// descending cost, ties keeping submission order (stable).
+std::vector<std::size_t> longest_first(const std::vector<double>& costs);
 
 }  // namespace detail
 
-/// One unit of sweep work: a tag (for reports and error messages) plus a
-/// thread-confined callable producing the result.
+/// One unit of sweep work: a tag (for reports and error messages), a
+/// thread-confined callable producing the result, and the scheduling
+/// annotations.  `{tag, fn}` still works: such a job has no fingerprint
+/// (never memoized) and unit cost (FIFO dispatch among its peers).
 template <typename R = core::RunReport>
 struct Job {
+  Job() = default;
+  Job(std::string tag_, std::function<R()> fn_,
+      std::optional<Fingerprint> fingerprint_ = std::nullopt, double cost_ = 1.0)
+      : tag(std::move(tag_)), fn(std::move(fn_)), fingerprint(fingerprint_), cost(cost_) {}
+
   std::string tag;
   std::function<R()> fn;
+
+  /// Memoization key; set only when the job is a pure function of a
+  /// hashable configuration (see exp::scenario_fingerprint).
+  std::optional<Fingerprint> fingerprint;
+
+  /// Relative wall-time estimate for longest-first dispatch (any unit,
+  /// only the ordering matters).
+  double cost = 1.0;
 };
 
 /// Result slot of one job: the value, or the error that replaced it.
@@ -73,6 +132,7 @@ struct JobOutcome {
   std::string tag;
   std::optional<R> value;  ///< empty when the job threw
   std::string error;       ///< non-empty when the job threw
+  bool from_cache = false; ///< served from the result cache or an in-batch twin
 
   bool ok() const { return value.has_value(); }
 
@@ -90,29 +150,161 @@ class SweepRunner {
  public:
   explicit SweepRunner(SweepOptions opt = {}) : opt_(opt) {}
 
+  /// Replace the consulted result cache (default: the process-global
+  /// ResultCache<R>).  nullptr disables memoization for this runner,
+  /// including in-batch duplicate elimination.
+  void set_cache(ResultCache<R>* cache) { cache_ = cache; }
+
   std::vector<JobOutcome<R>> run(std::vector<Job<R>> jobs) {
-    std::vector<JobOutcome<R>> out(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) out[i].tag = jobs[i].tag;
-    threads_used_ = detail::resolve_threads(opt_.threads, jobs.size());
+    const std::size_t n = jobs.size();
+    std::vector<JobOutcome<R>> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i].tag = jobs[i].tag;
+    runs_requested_ = n;
+    cache_hits_ = 0;
+    schedule_.clear();
+
+    // Phase 1 — memoization: serve cache hits, collapse in-batch duplicates
+    // onto one primary, collect the jobs that must actually execute.
+    ResultCache<R>* cache = opt_.memoize ? cache_ : nullptr;
+    std::vector<std::size_t> execute;
+    std::vector<std::optional<std::size_t>> twin_of(n);  // job -> earlier identical job
+    std::map<Fingerprint, std::size_t> primary;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& fp = jobs[i].fingerprint;
+      if (cache != nullptr && fp.has_value()) {
+        if (auto hit = cache->lookup(*fp)) {
+          out[i].value.emplace(std::move(*hit));
+          out[i].from_cache = true;
+          ++cache_hits_;
+          continue;
+        }
+        const auto [it, fresh] = primary.try_emplace(*fp, i);
+        if (!fresh) {
+          twin_of[i] = it->second;
+          ++cache_hits_;
+          continue;
+        }
+      }
+      execute.push_back(i);
+    }
+
+    // Phase 2 — cost-aware dispatch: longest estimated job first, so a
+    // skewed grid's long pole starts immediately instead of tailing the
+    // FIFO.  Outcome slots are untouched; only the dispatch order changes.
+    {
+      std::vector<double> costs;
+      costs.reserve(execute.size());
+      for (const std::size_t i : execute) costs.push_back(jobs[i].cost);
+      const auto order = detail::longest_first(costs);
+      schedule_.reserve(order.size());
+      for (const std::size_t p : order) schedule_.push_back(execute[p]);
+    }
+    threads_used_ = detail::resolve_threads(opt_.threads, schedule_.size());
+
+    auto& completed = metrics_.counter("sweep.jobs_completed");
+    auto& hits_ctr = metrics_.counter("sweep.cache_hits");
+    auto& executed_ctr = metrics_.counter("sweep.runs_executed");
+    auto& in_flight = metrics_.gauge("sweep.in_flight");
+    auto& wall_per_job = metrics_.stats("sweep.wall_per_job_s");
+
     const auto t0 = std::chrono::steady_clock::now();
-    auto errors = detail::run_indexed(jobs.size(), threads_used_, [&](std::size_t i) {
+    auto errors = detail::run_indexed(schedule_, threads_used_, [&](std::size_t i) {
+      const auto j0 = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lock(metrics_mutex_);
+        in_flight.set(in_flight.value() + 1);
+      }
+      // Instruments are single-writer by contract; pool threads share these,
+      // so every update goes through metrics_mutex_ — including the
+      // completion bookkeeping, which must also run when fn() throws.
+      struct Done {
+        SweepRunner* self;
+        obs::Gauge& in_flight;
+        obs::Counter& completed;
+        RunningStats& wall;
+        std::chrono::steady_clock::time_point start;
+        ~Done() {
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                  .count();
+          std::lock_guard<std::mutex> lock(self->metrics_mutex_);
+          in_flight.set(in_flight.value() - 1);
+          completed.inc();
+          wall.add(secs);
+        }
+      } done{this, in_flight, completed, wall_per_job, j0};
       out[i].value.emplace(jobs[i].fn());
     });
     wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    for (std::size_t i = 0; i < errors.size(); ++i) out[i].error = std::move(errors[i]);
+    for (std::size_t p = 0; p < schedule_.size(); ++p) {
+      out[schedule_[p]].error = std::move(errors[p]);
+    }
+
+    // Phase 3 — publish: successful fingerprinted runs enter the cache
+    // (errors never do), and in-batch twins copy their primary's outcome.
+    if (cache != nullptr) {
+      for (const std::size_t i : execute) {
+        if (jobs[i].fingerprint.has_value() && out[i].value.has_value()) {
+          cache->insert(*jobs[i].fingerprint, *out[i].value);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!twin_of[i].has_value()) continue;
+      const auto& prime = out[*twin_of[i]];
+      out[i].value = prime.value;
+      out[i].error = prime.error;
+      out[i].from_cache = true;
+    }
+    runs_executed_ = execute.size();
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      hits_ctr.inc(cache_hits_);
+      executed_ctr.inc(runs_executed_);
+    }
     return out;
   }
 
-  /// Threads the last run() actually used (0 before the first run).
+  /// Threads the last run() actually used (0 before the first run, and 0
+  /// when every job was served from the cache).
   std::size_t threads_used() const { return threads_used_; }
 
   /// Wall-clock duration of the last run() in seconds.
   double wall_seconds() const { return wall_seconds_; }
 
+  /// Jobs handed to the last run().
+  std::size_t runs_requested() const { return runs_requested_; }
+
+  /// Jobs the last run() actually executed (requested − cache_hits for
+  /// fully fingerprinted batches; unhashable jobs always execute).
+  std::size_t runs_executed() const { return runs_executed_; }
+
+  /// Jobs of the last run() served without executing: result-cache hits
+  /// plus in-batch duplicates collapsed onto an executing twin.
+  std::size_t cache_hits() const { return cache_hits_; }
+
+  /// Dispatch order of the last run(): the executed jobs' ids, longest
+  /// estimated cost first (ties in submission order).  Exposed so tests can
+  /// assert the schedule decision without timing assumptions.
+  const std::vector<std::size_t>& schedule() const { return schedule_; }
+
+  /// Progress metrics owned by this runner; counters accumulate across
+  /// run() calls.  Safe to read between runs; during a run, updates are
+  /// serialized behind an internal mutex.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   SweepOptions opt_;
+  ResultCache<R>* cache_ = &ResultCache<R>::global();
   std::size_t threads_used_ = 0;
   double wall_seconds_ = 0.0;
+  std::size_t runs_requested_ = 0;
+  std::size_t runs_executed_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::vector<std::size_t> schedule_;
+  obs::MetricsRegistry metrics_;
+  std::mutex metrics_mutex_;
 };
 
 }  // namespace frieda::exp

@@ -77,6 +77,40 @@ core::RunReport execute(Built& b, const core::AppModel& app,
 
 }  // namespace
 
+bool fingerprintable(const PaperScenarioOptions& opt) {
+  return !opt.arrange && opt.tracer == nullptr && opt.metrics == nullptr;
+}
+
+void hash_options(StableHasher& h, const PaperScenarioOptions& opt) {
+  FRIEDA_CHECK(fingerprintable(opt),
+               "options with arrange/tracer/metrics hooks cannot be fingerprinted");
+  // Fixed field order — this is the persistent cache-key encoding.  When a
+  // field is added to PaperScenarioOptions, append its mix here (changing
+  // every fingerprint is fine; *omitting* a behavior-affecting field is not).
+  h.mix_u64(opt.worker_vms)
+      .mix_u64(opt.cores_per_vm)
+      .mix_f64(opt.nic)
+      .mix_bool(opt.multicore)
+      .mix_f64(opt.scale)
+      .mix_u64(opt.seed)
+      .mix_i64(opt.prefetch)
+      .mix_bool(opt.requeue_on_failure);
+}
+
+double estimate_units(const char* app, const PaperScenarioOptions& opt) {
+  const std::string kind(app);
+  if (kind == "als") {
+    // Pairwise-adjacent grouping: two images per unit.
+    return static_cast<double>(als_params(opt).image_count) / 2.0;
+  }
+  if (kind == "blast") {
+    // Single-file grouping: one sequence per unit.
+    return static_cast<double>(blast_params(opt).sequence_count);
+  }
+  FRIEDA_CHECK(false, "estimate_units: unknown app kind '" << kind << "'");
+  return 0.0;
+}
+
 ImageCompareModel make_als_model(const PaperScenarioOptions& opt) {
   return ImageCompareModel(als_params(opt));
 }

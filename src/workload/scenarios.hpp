@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "cluster/cluster.hpp"
+#include "common/hash.hpp"
 #include "frieda/report.hpp"
 #include "frieda/run.hpp"
 #include "workload/blast.hpp"
@@ -35,6 +36,24 @@ struct PaperScenarioOptions {
   /// benches use it to schedule failures or elasticity.
   std::function<void(sim::Simulation&, cluster::VirtualCluster&, core::FriedaRun&)> arrange;
 };
+
+/// True when a run of these options is a pure function of the fields below —
+/// i.e. it can be memoized by fingerprint.  An `arrange` hook changes the run
+/// in ways the fields don't capture, and tracer/metrics attachments are side
+/// effects a cached result would silently skip, so any of them disqualifies
+/// the options.
+bool fingerprintable(const PaperScenarioOptions& opt);
+
+/// Mix every behavior-affecting field of `opt` into `h`, in a fixed order
+/// (part of the cache-key encoding: extend only by appending new fields).
+/// Precondition: fingerprintable(opt).
+void hash_options(StableHasher& h, const PaperScenarioOptions& opt);
+
+/// Estimated work-unit count of the scenario these options describe for
+/// `app` ("als" or "blast") — the base dataset size scaled by `opt.scale`,
+/// mapped through the app's partition scheme.  This is the numerator of the
+/// sweep engine's relative cost estimate (see exp::scenario_cost).
+double estimate_units(const char* app, const PaperScenarioOptions& opt);
 
 /// Build the ALS dataset/model these options describe.  Constructing the
 /// model (catalog generation, per-file size draws) is the fixed per-run setup

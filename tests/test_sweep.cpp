@@ -1,7 +1,11 @@
 // Sweep engine tests: thread-count invariance of real scenario runs, seed
 // derivation, deterministic result ordering under skewed job timings,
-// exception isolation, and concurrent create-or-get on a shared
-// MetricsRegistry (the test the tsan preset exists for).
+// exception isolation, memoization (fingerprint stability, cache hit/miss
+// correctness, in-batch dedup, global cross-grid cache), cost-aware
+// longest-first scheduling, FRIEDA_SWEEP_THREADS validation, ScenarioSweep
+// lifecycle, runner metrics, and concurrent create-or-get on shared
+// MetricsRegistry / ResultCache instances (the tests the tsan preset
+// exists for).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -13,7 +17,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "exp/cost.hpp"
 #include "exp/grid.hpp"
+#include "exp/result_cache.hpp"
 #include "exp/sweep.hpp"
 #include "obs/metrics.hpp"
 #include "workload/scenarios.hpp"
@@ -64,12 +70,19 @@ std::vector<Job<core::RunReport>> scenario_jobs() {
 }
 
 TEST(Sweep, ThreadCountInvariance) {
+  // Memoization off: this test is about the *execution* paths being
+  // thread-count invariant, so both runners must actually run every job.
   SweepRunner<> one(SweepOptions{1});
   SweepRunner<> eight(SweepOptions{8});
+  one.set_cache(nullptr);
+  eight.set_cache(nullptr);
   const auto seq = one.run(scenario_jobs());
   const auto par = eight.run(scenario_jobs());
   EXPECT_EQ(one.threads_used(), 1u);
   EXPECT_EQ(eight.threads_used(), 4u);  // capped at the job count
+  EXPECT_EQ(one.runs_executed(), 4u);
+  EXPECT_EQ(eight.runs_executed(), 4u);
+  EXPECT_EQ(eight.cache_hits(), 0u);
   ASSERT_EQ(seq.size(), par.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
     ASSERT_TRUE(seq[i].ok()) << seq[i].error;
@@ -88,7 +101,12 @@ TEST(Sweep, SharedModelMatchesPerJobModel) {
   grid.add_als(PlacementStrategy::kRealTime, opt);
   grid.add_als(PlacementStrategy::kRealTime, opt, shared);
   SweepRunner<> runner;
+  // Both cells carry the same fingerprint (the model is a pure function of
+  // opt.scale); disable memoization so both actually execute — the point is
+  // that the shared-model code path computes the same report.
+  runner.set_cache(nullptr);
   const auto out = runner.run(grid.take());
+  EXPECT_EQ(runner.runs_executed(), 2u);
   expect_reports_equal(out[0].get(), out[1].get());
 }
 
@@ -113,6 +131,254 @@ TEST(Sweep, DerivedSeedsAreAppendStable) {
   EXPECT_NE(derive_seed(2012, 3), derive_seed(2012, 4));
   EXPECT_NE(derive_seed(2012, 0), derive_seed(2013, 0));
   EXPECT_NE(derive_seed(2012, 0), 2012u);  // whitened, not passed through
+}
+
+// ---------------------------------------------------------------------------
+// Configuration fingerprints.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, FingerprintIsStable) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.2;
+  const auto a = scenario_fingerprint("als", "real-time", opt);
+  const auto b = scenario_fingerprint("als", "real-time", opt);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);  // same options => same hash, every time
+}
+
+TEST(Sweep, FingerprintSeesEveryField) {
+  const PaperScenarioOptions base;
+  const auto fp0 = scenario_fingerprint("blast", "real-time", base);
+  ASSERT_TRUE(fp0.has_value());
+
+  std::vector<std::pair<const char*, PaperScenarioOptions>> variants;
+  auto vary = [&](const char* field, auto mutate) {
+    PaperScenarioOptions v = base;
+    mutate(v);
+    variants.emplace_back(field, std::move(v));
+  };
+  vary("worker_vms", [](auto& v) { v.worker_vms = 5; });
+  vary("cores_per_vm", [](auto& v) { v.cores_per_vm = 2; });
+  vary("nic", [](auto& v) { v.nic = mbps(10); });
+  vary("multicore", [](auto& v) { v.multicore = false; });
+  vary("scale", [](auto& v) { v.scale = 0.5; });
+  vary("seed", [](auto& v) { v.seed = 2013; });
+  vary("prefetch", [](auto& v) { v.prefetch = 2; });
+  vary("requeue_on_failure", [](auto& v) { v.requeue_on_failure = true; });
+
+  std::set<Fingerprint> seen{*fp0};
+  for (const auto& [field, opt] : variants) {
+    const auto fp = scenario_fingerprint("blast", "real-time", opt);
+    ASSERT_TRUE(fp.has_value()) << field;
+    EXPECT_TRUE(seen.insert(*fp).second)
+        << "changing field '" << field << "' did not change the fingerprint";
+  }
+  // App kind and mode are part of the key too.
+  EXPECT_NE(*fp0, *scenario_fingerprint("als", "real-time", base));
+  EXPECT_NE(*fp0, *scenario_fingerprint("blast", "sequential", base));
+}
+
+TEST(Sweep, HookedOptionsAreNotFingerprintable) {
+  PaperScenarioOptions opt;
+  EXPECT_TRUE(workload::fingerprintable(opt));
+  PaperScenarioOptions arranged = opt;
+  arranged.arrange = [](sim::Simulation&, cluster::VirtualCluster&, core::FriedaRun&) {};
+  EXPECT_FALSE(workload::fingerprintable(arranged));
+  EXPECT_FALSE(scenario_fingerprint("als", "real-time", arranged).has_value());
+  obs::MetricsRegistry registry;
+  PaperScenarioOptions metered = opt;
+  metered.metrics = &registry;
+  EXPECT_FALSE(workload::fingerprintable(metered));
+  EXPECT_FALSE(scenario_fingerprint("als", "real-time", metered).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Memoization: cache hits, in-batch dedup, opt-outs.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, CacheHitServesIdenticalReport) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  opt.seed = 4242;  // distinctive: this cell belongs to this test's cache only
+  ResultCache<core::RunReport> cache;
+
+  auto make_jobs = [&] {
+    Grid grid;
+    grid.add_blast(PlacementStrategy::kRealTime, opt);
+    grid.add_als(PlacementStrategy::kPrePartitionRemote, opt);
+    return grid.take();
+  };
+
+  SweepRunner<> cold;
+  cold.set_cache(&cache);
+  const auto first = cold.run(make_jobs());
+  EXPECT_EQ(cold.runs_executed(), 2u);
+  EXPECT_EQ(cold.cache_hits(), 0u);
+  EXPECT_FALSE(first[0].from_cache);
+  EXPECT_EQ(cache.size(), 2u);
+
+  SweepRunner<> warm;
+  warm.set_cache(&cache);
+  const auto second = warm.run(make_jobs());
+  EXPECT_EQ(warm.runs_requested(), 2u);
+  EXPECT_EQ(warm.runs_executed(), 0u);
+  EXPECT_EQ(warm.cache_hits(), 2u);
+  EXPECT_EQ(warm.threads_used(), 0u);  // nothing left to execute
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_TRUE(second[i].ok()) << second[i].error;
+    EXPECT_TRUE(second[i].from_cache);
+    expect_reports_equal(first[i].get(), second[i].get());
+  }
+}
+
+TEST(Sweep, InBatchDuplicatesExecuteOnce) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  opt.seed = 4243;
+  ResultCache<core::RunReport> cache;
+  Grid grid;
+  const auto a = grid.add_blast(PlacementStrategy::kRealTime, opt);
+  const auto b = grid.add_als(PlacementStrategy::kRealTime, opt);
+  const auto c = grid.add_blast(PlacementStrategy::kRealTime, opt);  // duplicate of a
+  SweepRunner<> runner(SweepOptions{2});
+  runner.set_cache(&cache);
+  const auto out = runner.run(grid.take());
+  EXPECT_EQ(runner.runs_requested(), 3u);
+  EXPECT_EQ(runner.runs_executed(), 2u);
+  EXPECT_EQ(runner.cache_hits(), 1u);
+  ASSERT_TRUE(out[a].ok());
+  ASSERT_TRUE(out[b].ok());
+  ASSERT_TRUE(out[c].ok());
+  EXPECT_FALSE(out[a].from_cache);
+  EXPECT_TRUE(out[c].from_cache);
+  expect_reports_equal(out[a].get(), out[c].get());
+}
+
+TEST(Sweep, AdHocJobsAreNeverCached) {
+  ResultCache<core::RunReport> cache;
+  std::atomic<int> calls{0};
+  auto make_jobs = [&] {
+    Grid grid;
+    grid.add("adhoc", [&calls] {
+      ++calls;
+      core::RunReport r;
+      r.app = "adhoc";
+      return r;
+    });
+    return grid.take();
+  };
+  SweepRunner<> runner;
+  runner.set_cache(&cache);
+  (void)runner.run(make_jobs());
+  (void)runner.run(make_jobs());
+  EXPECT_EQ(calls.load(), 2);  // executed both times
+  EXPECT_EQ(runner.cache_hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);  // never entered the cache
+}
+
+TEST(Sweep, MemoizeOptOutExecutesEverything) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  opt.seed = 4244;
+  ResultCache<core::RunReport> cache;
+  SweepOptions sopt;
+  sopt.memoize = false;
+  SweepRunner<> runner(sopt);
+  runner.set_cache(&cache);
+  Grid grid;
+  grid.add_blast(PlacementStrategy::kRealTime, opt);
+  grid.add_blast(PlacementStrategy::kRealTime, opt);  // duplicate, still runs
+  const auto out = runner.run(grid.take());
+  EXPECT_EQ(runner.runs_executed(), 2u);
+  EXPECT_EQ(runner.cache_hits(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+  expect_reports_equal(out[0].get(), out[1].get());
+}
+
+TEST(Sweep, GlobalCacheSpansGrids) {
+  // The driver pattern: two independent ScenarioSweeps in one process share
+  // the process-global cache, so a baseline re-run in the second grid is
+  // served from the first.  Distinctive seed keeps this test self-contained.
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  opt.seed = 0xfeedbeef;
+  ScenarioSweep first;
+  const auto id1 = first.grid().add_blast(PlacementStrategy::kRealTime, opt);
+  first.run();
+  EXPECT_EQ(first.runs_executed(), 1u);
+
+  ScenarioSweep second;
+  const auto id2 = second.grid().add_blast(PlacementStrategy::kRealTime, opt);
+  const auto id3 = second.grid().add_blast(PlacementStrategy::kPrePartitionRemote, opt);
+  second.run();
+  EXPECT_EQ(second.runs_requested(), 2u);
+  EXPECT_EQ(second.runs_executed(), 1u);  // only the pre-partition cell is new
+  EXPECT_EQ(second.cache_hits(), 1u);
+  EXPECT_TRUE(second.outcome(id2).from_cache);
+  EXPECT_FALSE(second.outcome(id3).from_cache);
+  expect_reports_equal(first.report(id1), second.report(id2));
+}
+
+// ---------------------------------------------------------------------------
+// Cost-aware scheduling.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, LongestFirstIsStableOnTies) {
+  EXPECT_EQ(detail::longest_first({1.0, 3.0, 2.0, 3.0}),
+            (std::vector<std::size_t>{1, 3, 2, 0}));
+  EXPECT_EQ(detail::longest_first({5.0, 5.0, 5.0}), (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_TRUE(detail::longest_first({}).empty());
+}
+
+TEST(Sweep, ScheduleIsLongestFirstWithJobOrderSlots) {
+  // Ad-hoc jobs with explicit cost overrides, submitted cheapest-first; the
+  // schedule must reverse them while outcome slots stay in job order.
+  Grid grid;
+  for (int i = 0; i < 6; ++i) {
+    grid.add("cost" + std::to_string(i),
+             [i] {
+               core::RunReport r;
+               r.units_total = static_cast<std::size_t>(i);
+               return r;
+             },
+             /*cost=*/static_cast<double>(i));
+  }
+  SweepRunner<> runner(SweepOptions{3});
+  runner.set_cache(nullptr);
+  const auto out = runner.run(grid.take());
+  EXPECT_EQ(runner.schedule(), (std::vector<std::size_t>{5, 4, 3, 2, 1, 0}));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_TRUE(out[i].ok());
+    EXPECT_EQ(out[i].tag, "cost" + std::to_string(i));
+    EXPECT_EQ(out[i].get().units_total, i);
+  }
+}
+
+TEST(Sweep, ScenarioCostsOrderSensibly) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.2;
+  // A sequential baseline (1 slot) is the long pole of any Table-I grid.
+  EXPECT_GT(scenario_cost("blast", true, opt), scenario_cost("blast", false, opt));
+  // More data, more cost; more slots, less cost.
+  PaperScenarioOptions big = opt;
+  big.scale = 0.4;
+  EXPECT_GT(scenario_cost("blast", false, big), scenario_cost("blast", false, opt));
+  PaperScenarioOptions narrow = opt;
+  narrow.multicore = false;
+  EXPECT_GT(scenario_cost("blast", false, narrow), scenario_cost("blast", false, opt));
+  // Grid stamps scenario jobs with these costs: sequential sorts first.
+  Grid grid;
+  grid.add_blast(PlacementStrategy::kRealTime, opt);
+  grid.add_blast_sequential(opt);
+  auto jobs = grid.take();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_GT(jobs[1].cost, jobs[0].cost);
+  SweepRunner<> runner(SweepOptions{1});
+  runner.set_cache(nullptr);
+  const auto out = runner.run(std::move(jobs));
+  EXPECT_EQ(runner.schedule(), (std::vector<std::size_t>{1, 0}));
+  EXPECT_TRUE(out[0].ok() && out[1].ok());
 }
 
 // ---------------------------------------------------------------------------
@@ -164,6 +430,19 @@ TEST(Sweep, ThrowingJobIsIsolated) {
   EXPECT_EQ(out[2].get(), 3);
 }
 
+TEST(Sweep, FailedRunsAreNotCached) {
+  ResultCache<int> cache;
+  StableHasher h;
+  const auto fp = h.mix_str("boom-key").digest();
+  std::vector<Job<int>> jobs;
+  jobs.push_back({"boom", []() -> int { throw std::runtime_error("nope"); }, fp});
+  SweepRunner<int> runner;
+  runner.set_cache(&cache);
+  const auto out = runner.run(std::move(jobs));
+  EXPECT_FALSE(out[0].ok());
+  EXPECT_EQ(cache.size(), 0u);  // errors never enter the cache
+}
+
 TEST(Sweep, EmptyBatchAndThreadResolution) {
   SweepRunner<int> runner;
   EXPECT_TRUE(runner.run({}).empty());
@@ -173,6 +452,10 @@ TEST(Sweep, EmptyBatchAndThreadResolution) {
   EXPECT_GE(detail::resolve_threads(0, 100), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// FRIEDA_SWEEP_THREADS validation.
+// ---------------------------------------------------------------------------
+
 TEST(Sweep, EnvVarOverridesThreadCount) {
   ASSERT_EQ(setenv("FRIEDA_SWEEP_THREADS", "3", 1), 0);
   EXPECT_EQ(detail::resolve_threads(0, 100), 3u);
@@ -181,9 +464,96 @@ TEST(Sweep, EnvVarOverridesThreadCount) {
   ASSERT_EQ(unsetenv("FRIEDA_SWEEP_THREADS"), 0);
 }
 
+TEST(Sweep, EnvVarParserRejectsGarbage) {
+  EXPECT_EQ(detail::parse_threads_env("4"), 4u);
+  EXPECT_EQ(detail::parse_threads_env("4096"), 4096u);
+  EXPECT_EQ(detail::parse_threads_env(nullptr), 0u);
+  EXPECT_EQ(detail::parse_threads_env(""), 0u);
+  EXPECT_EQ(detail::parse_threads_env("garbage"), 0u);
+  EXPECT_EQ(detail::parse_threads_env("0"), 0u);
+  EXPECT_EQ(detail::parse_threads_env("-3"), 0u);
+  EXPECT_EQ(detail::parse_threads_env("8x"), 0u);          // trailing junk
+  EXPECT_EQ(detail::parse_threads_env("3.5"), 0u);         // not an integer
+  EXPECT_EQ(detail::parse_threads_env("4097"), 0u);        // above the cap
+  EXPECT_EQ(detail::parse_threads_env("99999999999999999999"), 0u);  // overflow
+}
+
+TEST(Sweep, InvalidEnvVarFallsBackLikeUnset) {
+  ASSERT_EQ(unsetenv("FRIEDA_SWEEP_THREADS"), 0);
+  const std::size_t unset = detail::resolve_threads(0, 100);
+  for (const char* bad : {"garbage", "0", "-3", "8x", "99999999999999999999"}) {
+    ASSERT_EQ(setenv("FRIEDA_SWEEP_THREADS", bad, 1), 0);
+    EXPECT_EQ(detail::resolve_threads(0, 100), unset)
+        << "FRIEDA_SWEEP_THREADS='" << bad << "' must fall back to the unset default";
+  }
+  ASSERT_EQ(unsetenv("FRIEDA_SWEEP_THREADS"), 0);
+}
+
 // ---------------------------------------------------------------------------
-// Concurrent sweep jobs sharing one MetricsRegistry: the registry map is
-// synchronized; each job updates only its own per-job instruments.  Run this
+// ScenarioSweep lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, RunTwiceThrows) {
+  ScenarioSweep sweep;
+  sweep.grid().add("noop", [] { return core::RunReport{}; });
+  EXPECT_FALSE(sweep.ran());
+  sweep.run();
+  EXPECT_TRUE(sweep.ran());
+  EXPECT_TRUE(sweep.outcome(0).ok());
+  EXPECT_THROW(sweep.run(), FriedaError);
+}
+
+TEST(Sweep, OutcomeBeforeRunThrows) {
+  ScenarioSweep sweep;
+  const auto id = sweep.grid().add("noop", [] { return core::RunReport{}; });
+  EXPECT_THROW(sweep.outcome(id), FriedaError);
+  EXPECT_THROW(sweep.report(id), FriedaError);
+  sweep.run();
+  EXPECT_TRUE(sweep.outcome(id).ok());
+  EXPECT_THROW(sweep.outcome(id + 1), FriedaError);  // still range-checked
+}
+
+// ---------------------------------------------------------------------------
+// Runner-owned metrics.
+// ---------------------------------------------------------------------------
+
+TEST(Sweep, RunnerMetricsTrackProgress) {
+  PaperScenarioOptions opt;
+  opt.scale = 0.1;
+  opt.seed = 4245;
+  ResultCache<core::RunReport> cache;
+  SweepRunner<> runner(SweepOptions{2});
+  runner.set_cache(&cache);
+  auto make_jobs = [&] {
+    Grid grid;
+    grid.add_blast(PlacementStrategy::kRealTime, opt);
+    grid.add_als(PlacementStrategy::kRealTime, opt);
+    return grid.take();
+  };
+  (void)runner.run(make_jobs());
+  (void)runner.run(make_jobs());  // warm: both served from cache
+  const auto& m = runner.metrics();
+  const auto* completed = m.find_counter("sweep.jobs_completed");
+  const auto* hits = m.find_counter("sweep.cache_hits");
+  const auto* executed = m.find_counter("sweep.runs_executed");
+  const auto* in_flight = m.find_gauge("sweep.in_flight");
+  const auto* wall = m.find_stats("sweep.wall_per_job_s");
+  ASSERT_NE(completed, nullptr);
+  ASSERT_NE(hits, nullptr);
+  ASSERT_NE(executed, nullptr);
+  ASSERT_NE(in_flight, nullptr);
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(completed->value(), 2u);  // dispatched jobs only (first run)
+  EXPECT_EQ(executed->value(), 2u);
+  EXPECT_EQ(hits->value(), 2u);       // second run was fully cached
+  EXPECT_EQ(in_flight->value(), 0.0); // everything drained
+  EXPECT_EQ(wall->count(), 2u);
+  EXPECT_GT(wall->mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: shared MetricsRegistry across jobs, and concurrent
+// lookup/insert on one shared ResultCache from parallel sweeps.  Run these
 // under the asan and tsan presets (see docs/performance.md).
 // ---------------------------------------------------------------------------
 
@@ -222,6 +592,42 @@ TEST(Sweep, SharedMetricsRegistryAcrossJobs) {
   }
   // Exports see a consistent snapshot after the sweep.
   EXPECT_NE(registry.csv().find("job0.units,counter,100"), std::string::npos);
+}
+
+TEST(Sweep, ConcurrentSweepsShareOneCache) {
+  // Four concurrent sweeps over overlapping key sets race lookup/insert on
+  // one cache; every outcome must be correct and the cache must end with
+  // exactly one entry per distinct key.
+  ResultCache<int> cache;
+  constexpr std::size_t kSweeps = 4;
+  constexpr std::size_t kKeys = 8;
+  constexpr std::size_t kJobsPerSweep = 24;
+  std::vector<std::vector<JobOutcome<int>>> results(kSweeps);
+  std::vector<std::thread> sweeps;
+  for (std::size_t s = 0; s < kSweeps; ++s) {
+    sweeps.emplace_back([s, &cache, &results] {
+      std::vector<Job<int>> jobs;
+      for (std::size_t i = 0; i < kJobsPerSweep; ++i) {
+        const std::size_t key = (s + i) % kKeys;  // overlap across sweeps
+        StableHasher h;
+        h.mix_str("concurrent").mix_u64(key);
+        jobs.push_back({"k" + std::to_string(key),
+                        [key] { return static_cast<int>(key * 10); }, h.digest()});
+      }
+      SweepRunner<int> runner(SweepOptions{4});
+      runner.set_cache(&cache);
+      results[s] = runner.run(std::move(jobs));
+    });
+  }
+  for (auto& t : sweeps) t.join();
+  EXPECT_EQ(cache.size(), kKeys);
+  for (std::size_t s = 0; s < kSweeps; ++s) {
+    ASSERT_EQ(results[s].size(), kJobsPerSweep);
+    for (std::size_t i = 0; i < kJobsPerSweep; ++i) {
+      ASSERT_TRUE(results[s][i].ok()) << results[s][i].error;
+      EXPECT_EQ(results[s][i].get(), static_cast<int>(((s + i) % kKeys) * 10));
+    }
+  }
 }
 
 }  // namespace
