@@ -7,16 +7,25 @@
 //     the worst total;
 //   * real-time              — transfer overlapped with execution, total
 //     close to the transfer bound.
+// `--analyze` additionally re-runs the real-time scenario with a tracer
+// attached and prints the obs::TraceAnalyzer attribution / critical-path
+// report — the measured version of the stacked-bar decomposition above.
+// The sweep itself (table, fig6a.csv) is untouched by the flag.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.hpp"
+#include "obs/analysis.hpp"
 #include "workload/scenarios.hpp"
 
 using namespace frieda;
 using namespace frieda::workload;
 using core::PlacementStrategy;
 
-int main() {
+int main(int argc, char** argv) {
+  bool analyze = false;
+  for (int i = 1; i < argc; ++i) analyze |= std::strcmp(argv[i], "--analyze") == 0;
+
   PaperScenarioOptions opt;
 
   std::printf("Running Figure 6a scenarios (ALS, full scale)...\n");
@@ -63,5 +72,18 @@ int main() {
                bench::secs(volume.makespan())});
   bench::try_save(csv, "fig6a.csv");
   bench::print_sweep_stats(sweep);
+
+  if (analyze) {
+    // Traced re-run of the real-time strategy (a tracer attachment is a side
+    // effect, so this run bypasses the memoizing sweep by design; same
+    // deterministic result, plus the event stream the analyzer needs).
+    std::printf("\nTracing real-time partitioning for analysis...\n");
+    obs::Tracer tracer;
+    auto topt = opt;
+    topt.tracer = &tracer;
+    (void)run_als(PlacementStrategy::kRealTime, *model, topt);
+    const auto analysis = obs::TraceAnalyzer::analyze(tracer);
+    std::printf("%s", obs::render_report(analysis).c_str());
+  }
   return 0;
 }

@@ -9,14 +9,23 @@
 // instead of re-simulating them.  Ablation drivers that re-run a shared
 // baseline (e.g. the scale-0.2 real-time run) pay for it once.
 //
-// Thread safety: lookup/insert/size/clear are mutex-synchronized; values
-// are returned *by copy* so a cached report can never be mutated or
-// invalidated under a concurrent reader.  Jobs whose configuration cannot
-// be fingerprinted (ad-hoc callables, options with `arrange`/tracer/metrics
+// The cache is bounded: at most `max_entries()` results are retained, with
+// least-recently-used eviction (a lookup hit or re-insert refreshes the
+// entry).  The default cap is generous — today's full ablation suite is a
+// few dozen cells — but it means a long-lived service sweeping millions of
+// configurations cannot grow the cache without bound.  `evictions()`
+// counts the entries discarded, and the sweep runner mirrors the delta
+// into its `sweep.cache_evictions` metric.
+//
+// Thread safety: all members are mutex-synchronized; values are returned
+// *by copy* so a cached report can never be mutated or invalidated under a
+// concurrent reader (or by eviction).  Jobs whose configuration cannot be
+// fingerprinted (ad-hoc callables, options with `arrange`/tracer/metrics
 // hooks) never reach the cache — see exp::scenario_fingerprint.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -29,8 +38,15 @@ namespace frieda::exp {
 template <typename R>
 class ResultCache {
  public:
-  /// Copy of the cached value, or nullopt on miss.  Counts toward the
-  /// hit/miss statistics.
+  /// Default entry cap — far above today's grid sizes (the full ablation
+  /// suite is < 100 cells) while bounding a runaway sweep's footprint.
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  explicit ResultCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  /// Copy of the cached value, or nullopt on miss.  A hit refreshes the
+  /// entry's recency.  Counts toward the hit/miss statistics.
   std::optional<R> lookup(const Fingerprint& key) const {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = map_.find(key);
@@ -39,15 +55,38 @@ class ResultCache {
       return std::nullopt;
     }
     ++hits_;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU position
+    return it->second->second;
   }
 
   /// Store `value` under `key`.  The first insert wins (identical keys mean
-  /// identical values, so re-inserting would only copy for nothing); returns
-  /// whether the entry was new.
+  /// identical values, so re-inserting would only copy for nothing — but it
+  /// still refreshes the entry's recency); returns whether the entry was
+  /// new.  May evict the least-recently-used entry when over the cap.
   bool insert(const Fingerprint& key, const R& value) {
     std::lock_guard<std::mutex> lock(mutex_);
-    return map_.emplace(key, value).second;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return false;
+    }
+    lru_.emplace_front(key, value);
+    map_.emplace(key, lru_.begin());
+    trim();
+    return true;
+  }
+
+  /// Change the entry cap (0 = unbounded).  Shrinking below the current
+  /// size evicts the LRU tail immediately.
+  void set_max_entries(std::size_t cap) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    max_entries_ = cap;
+    trim();
+  }
+
+  std::size_t max_entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_entries_;
   }
 
   std::size_t size() const {
@@ -58,6 +97,7 @@ class ResultCache {
   void clear() {
     std::lock_guard<std::mutex> lock(mutex_);
     map_.clear();
+    lru_.clear();
   }
 
   /// Lifetime lookup statistics (for tests and progress lines).
@@ -70,6 +110,13 @@ class ResultCache {
     return misses_;
   }
 
+  /// Entries evicted by the LRU cap over this cache's lifetime (clear()
+  /// does not count as eviction).
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+
   /// The process-wide cache for result type R — the default every
   /// SweepRunner<R> consults, which is what makes memoization work *across*
   /// the independent grids of one driver.  Use `SweepRunner::set_cache`
@@ -80,10 +127,22 @@ class ResultCache {
   }
 
  private:
+  void trim() {  // callers hold mutex_
+    while (max_entries_ != 0 && map_.size() > max_entries_) {
+      map_.erase(lru_.back().first);
+      lru_.pop_back();
+      ++evictions_;
+    }
+  }
+
   mutable std::mutex mutex_;
   mutable std::uint64_t hits_ = 0;
   mutable std::uint64_t misses_ = 0;
-  std::map<Fingerprint, R> map_;
+  std::uint64_t evictions_ = 0;
+  std::size_t max_entries_;
+  /// Front = most recently used; `map_` points into the list.
+  mutable std::list<std::pair<Fingerprint, R>> lru_;
+  std::map<Fingerprint, typename std::list<std::pair<Fingerprint, R>>::iterator> map_;
 };
 
 }  // namespace frieda::exp

@@ -20,8 +20,16 @@
 //     of the pool.  Outcome slots stay in job order; only the dispatch
 //     order changes, and `schedule()` exposes it for tests.
 //   * A `frieda_obs::MetricsRegistry` owned by the runner tracks progress
-//     (sweep.jobs_completed / sweep.cache_hits / sweep.runs_executed
-//     counters, a sweep.in_flight gauge, sweep.wall_per_job_s stats).
+//     (sweep.jobs_completed / sweep.cache_hits / sweep.runs_executed /
+//     sweep.cache_evictions counters, a sweep.in_flight gauge,
+//     sweep.wall_per_job_s stats).
+//   * Jobs tagged with a `Calibration` class feed their measured wall time
+//     into a `CostCalibrator` (process-global by default), so later grids
+//     dispatch on measured seconds instead of the static unit estimate.
+//   * An opt-in `obs::ProgressReporter` (set_progress, or the
+//     FRIEDA_SWEEP_PROGRESS environment variable) prints throttled live
+//     progress lines with a cost-weighted ETA; off by default, so driver
+//     stdout and committed CSVs are unaffected.
 //
 // Determinism rules:
 //   * Each job owns its `sim::Simulation`/`cluster::VirtualCluster`/`Rng` —
@@ -40,6 +48,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -48,9 +57,11 @@
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "exp/calibrate.hpp"
 #include "exp/result_cache.hpp"
 #include "frieda/report.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report_sink.hpp"
 
 namespace frieda::exp {
 
@@ -124,6 +135,17 @@ struct Job {
   /// Relative wall-time estimate for longest-first dispatch (any unit,
   /// only the ordering matters).
   double cost = 1.0;
+
+  /// Measured-cost feedback class.  When set, the runner reports this
+  /// job's wall time to its `CostCalibrator` as (key, raw_cost, seconds),
+  /// so later grids of the same class schedule with measured rates (see
+  /// exp/calibrate.hpp).  `raw_cost` is the *uncalibrated* estimate —
+  /// `cost` may already be scaled by a previously learned rate.
+  struct Calibration {
+    std::string key;        ///< class label, e.g. "als/rt"
+    double raw_cost = 1.0;  ///< static scenario_cost estimate
+  };
+  std::optional<Calibration> calibration;
 };
 
 /// Result slot of one job: the value, or the error that replaced it.
@@ -154,6 +176,16 @@ class SweepRunner {
   /// ResultCache<R>).  nullptr disables memoization for this runner,
   /// including in-batch duplicate elimination.
   void set_cache(ResultCache<R>* cache) { cache_ = cache; }
+
+  /// Replace the measured-cost sink (default: the process-global
+  /// CostCalibrator).  nullptr disables calibration feedback.
+  void set_calibrator(CostCalibrator* calibrator) { calibrator_ = calibrator; }
+
+  /// Attach a live progress reporter (see obs/report_sink.hpp).  Off by
+  /// default: with no reporter attached — and FRIEDA_SWEEP_PROGRESS unset —
+  /// the runner prints nothing, so driver output stays byte-identical.
+  /// The reporter must outlive run(); nullptr detaches.
+  void set_progress(obs::ProgressReporter* progress) { progress_ = progress; }
 
   std::vector<JobOutcome<R>> run(std::vector<Job<R>> jobs) {
     const std::size_t n = jobs.size();
@@ -204,8 +236,28 @@ class SweepRunner {
     auto& completed = metrics_.counter("sweep.jobs_completed");
     auto& hits_ctr = metrics_.counter("sweep.cache_hits");
     auto& executed_ctr = metrics_.counter("sweep.runs_executed");
+    auto& evicted_ctr = metrics_.counter("sweep.cache_evictions");
     auto& in_flight = metrics_.gauge("sweep.in_flight");
     auto& wall_per_job = metrics_.stats("sweep.wall_per_job_s");
+
+    // Live progress: an attached reporter wins; otherwise the
+    // FRIEDA_SWEEP_PROGRESS environment variable can enable one for this
+    // run.  Both off (the default) means zero output.
+    std::unique_ptr<obs::ProgressReporter> env_progress;
+    obs::ProgressReporter* progress = progress_;
+    if (progress == nullptr) {
+      env_progress = obs::ProgressReporter::from_env();
+      progress = env_progress.get();
+    }
+    double batch_cost = 0.0;
+    for (const std::size_t i : schedule_) batch_cost += jobs[i].cost;
+    const std::size_t served = n - schedule_.size();  // cache hits + twins
+    if (progress != nullptr) progress->begin(n, batch_cost);
+
+    const std::uint64_t evictions_before = cache != nullptr ? cache->evictions() : 0;
+    std::vector<double> job_wall(n, 0.0);  // per-job wall seconds; each job owns its slot
+    std::size_t done_jobs = 0;             // guarded by metrics_mutex_
+    double done_cost = 0.0;                // guarded by metrics_mutex_
 
     const auto t0 = std::chrono::steady_clock::now();
     auto errors = detail::run_indexed(schedule_, threads_used_, [&](std::size_t i) {
@@ -223,16 +275,41 @@ class SweepRunner {
         obs::Counter& completed;
         RunningStats& wall;
         std::chrono::steady_clock::time_point start;
+        std::chrono::steady_clock::time_point batch_start;
+        obs::ProgressReporter* progress;
+        double cost;
+        double* wall_slot;
+        std::size_t served;
+        std::size_t* done_jobs;
+        double* done_cost;
         ~Done() {
           const double secs =
               std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
                   .count();
-          std::lock_guard<std::mutex> lock(self->metrics_mutex_);
-          in_flight.set(in_flight.value() - 1);
-          completed.inc();
-          wall.add(secs);
+          *wall_slot = secs;
+          std::size_t completed_now = 0;
+          std::size_t flying = 0;
+          double cost_now = 0.0;
+          {
+            std::lock_guard<std::mutex> lock(self->metrics_mutex_);
+            in_flight.set(in_flight.value() - 1);
+            completed.inc();
+            wall.add(secs);
+            *done_jobs += 1;
+            *done_cost += cost;
+            completed_now = served + *done_jobs;
+            flying = static_cast<std::size_t>(in_flight.value());
+            cost_now = *done_cost;
+          }
+          if (progress != nullptr) {
+            const double elapsed =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - batch_start)
+                    .count();
+            progress->update(completed_now, flying, cost_now, elapsed);
+          }
         }
-      } done{this, in_flight, completed, wall_per_job, j0};
+      } done{this,     in_flight,    completed,    wall_per_job, j0,         t0,
+             progress, jobs[i].cost, &job_wall[i], served,       &done_jobs, &done_cost};
       out[i].value.emplace(jobs[i].fn());
     });
     wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -257,11 +334,26 @@ class SweepRunner {
       out[i].from_cache = true;
     }
     runs_executed_ = execute.size();
+
+    // Feed measured wall times back into the calibrator — successful,
+    // tagged runs only (a failed run's duration carries no signal; cache
+    // hits never executed).
+    if (calibrator_ != nullptr) {
+      for (const std::size_t i : execute) {
+        if (jobs[i].calibration.has_value() && out[i].value.has_value()) {
+          calibrator_->observe(jobs[i].calibration->key, jobs[i].calibration->raw_cost,
+                               job_wall[i]);
+        }
+      }
+    }
+
     {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       hits_ctr.inc(cache_hits_);
       executed_ctr.inc(runs_executed_);
+      if (cache != nullptr) evicted_ctr.inc(cache->evictions() - evictions_before);
     }
+    if (progress != nullptr) progress->finish(n, n, wall_seconds_);
     return out;
   }
 
@@ -297,6 +389,8 @@ class SweepRunner {
  private:
   SweepOptions opt_;
   ResultCache<R>* cache_ = &ResultCache<R>::global();
+  CostCalibrator* calibrator_ = &CostCalibrator::global();
+  obs::ProgressReporter* progress_ = nullptr;
   std::size_t threads_used_ = 0;
   double wall_seconds_ = 0.0;
   std::size_t runs_requested_ = 0;

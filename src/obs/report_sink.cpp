@@ -1,0 +1,96 @@
+#include "obs/report_sink.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace frieda::obs {
+
+namespace {
+
+/// "~41s" / "~3.2m" / "~1.4h" — coarse on purpose; it is an estimate.
+std::string human_eta(double seconds) {
+  char buf[32];
+  if (seconds < 0.95) {
+    std::snprintf(buf, sizeof(buf), "~%.1fs", seconds);
+  } else if (seconds < 120.0) {
+    std::snprintf(buf, sizeof(buf), "~%.0fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "~%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "~%.1fh", seconds / 3600.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+ProgressReporter::ProgressReporter(ProgressOptions options) : options_(std::move(options)) {}
+
+void ProgressReporter::begin(std::size_t total_jobs, double total_cost) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  total_jobs_ = total_jobs;
+  total_cost_ = total_cost;
+  last_print_elapsed_ = -1.0;
+}
+
+void ProgressReporter::update(std::size_t completed, std::size_t in_flight,
+                              double completed_cost, double elapsed_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (last_print_elapsed_ >= 0.0 &&
+      elapsed_s - last_print_elapsed_ < options_.min_interval_s) {
+    return;
+  }
+  last_print_elapsed_ = elapsed_s;
+
+  std::ostringstream os;
+  os << options_.label << ": [" << completed << "/" << total_jobs_ << "] " << in_flight
+     << " in flight";
+  // Cost-weighted ETA when the grid had cost estimates and some cost has
+  // completed; otherwise fall back to the plain job-count rate.
+  double done_frac = 0.0;
+  if (total_cost_ > 0.0 && completed_cost > 0.0) {
+    done_frac = completed_cost / total_cost_;
+  } else if (total_jobs_ > 0 && completed > 0) {
+    done_frac = static_cast<double>(completed) / static_cast<double>(total_jobs_);
+  }
+  if (done_frac > 0.0 && done_frac < 1.0 && elapsed_s > 0.0) {
+    os << ", eta " << human_eta(elapsed_s * (1.0 - done_frac) / done_frac);
+  }
+  print_line(os.str());
+}
+
+void ProgressReporter::finish(std::size_t completed, std::size_t total, double elapsed_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << options_.label << ": [" << completed << "/" << total << "] done in "
+     << human_eta(elapsed_s).substr(1);  // drop the '~': this one is measured
+  print_line(os.str());
+}
+
+std::size_t ProgressReporter::lines_printed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void ProgressReporter::print_line(const std::string& line) {
+  std::FILE* out = options_.out != nullptr ? options_.out : stderr;
+  std::fprintf(out, "%s\n", line.c_str());
+  std::fflush(out);
+  ++lines_;
+}
+
+std::unique_ptr<ProgressReporter> ProgressReporter::from_env() {
+  const char* raw = std::getenv("FRIEDA_SWEEP_PROGRESS");
+  if (raw == nullptr || raw[0] == '\0') return nullptr;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  ProgressOptions opt;
+  if (end != raw && *end == '\0') {
+    if (v <= 0.0) return nullptr;  // "0" disables explicitly
+    opt.min_interval_s = v;
+  }
+  // Non-numeric values ("1s", "yes", ...) enable the default interval.
+  return std::make_unique<ProgressReporter>(opt);
+}
+
+}  // namespace frieda::obs

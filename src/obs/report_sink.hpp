@@ -1,0 +1,82 @@
+// Live sweep progress reporting.
+//
+// `ProgressReporter` is the sink `exp::SweepRunner` feeds while a grid is
+// in flight: throttled one-line updates with a cost-weighted ETA, e.g.
+//
+//   sweep: [12/32] 6 in flight, eta ~41s
+//
+// Opt-in and off by default — a runner with no reporter attached prints
+// nothing, so committed scenario CSVs and tables stay byte-identical.
+// Enable per-runner via `SweepRunner::set_progress`, or globally via the
+// `FRIEDA_SWEEP_PROGRESS` environment variable (see `from_env`).
+//
+// Lives in frieda_obs (not frieda_exp) because it is an observability
+// sink, same layer as Tracer/MetricsRegistry; the runner only holds an
+// opaque pointer to it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace frieda::obs {
+
+struct ProgressOptions {
+  /// Minimum seconds between printed update lines (the finish line always
+  /// prints).  0 prints every update — useful in tests.
+  double min_interval_s = 0.5;
+
+  /// Output stream; nullptr means stderr (so driver stdout/CSV piping is
+  /// never polluted).
+  std::FILE* out = nullptr;
+
+  /// Line prefix, e.g. the driver name.
+  std::string label = "sweep";
+};
+
+/// Throttled textual progress for a batch of jobs.  Thread-safe: the
+/// runner's worker threads call `update` concurrently.
+///
+/// ETA is cost-weighted when per-job cost estimates are available
+/// (remaining-cost / observed cost-rate), falling back to job counts —
+/// so a grid whose longest jobs were dispatched first (the runner's
+/// longest-first order) does not wildly overestimate near the end.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(ProgressOptions options = {});
+
+  /// Announce a starting batch.  Resets per-batch state; prints nothing.
+  void begin(std::size_t total_jobs, double total_cost);
+
+  /// Report progress; prints at most once per `min_interval_s`.
+  /// `completed_cost` is the summed cost estimate of finished jobs (0 when
+  /// costs are unknown); `elapsed_s` is wall seconds since `begin`.
+  void update(std::size_t completed, std::size_t in_flight, double completed_cost,
+              double elapsed_s);
+
+  /// Report batch completion; always prints (unless nothing ever ran).
+  void finish(std::size_t completed, std::size_t total, double elapsed_s);
+
+  /// Lines actually printed so far (for tests).
+  std::size_t lines_printed() const;
+
+  /// Build a reporter from the `FRIEDA_SWEEP_PROGRESS` environment
+  /// variable: unset/empty/"0" -> nullptr (disabled); a positive number is
+  /// the update interval in seconds; any other value enables the default
+  /// interval.  Output goes to stderr.
+  static std::unique_ptr<ProgressReporter> from_env();
+
+ private:
+  void print_line(const std::string& line);
+
+  ProgressOptions options_;
+  mutable std::mutex mutex_;
+  std::size_t total_jobs_ = 0;
+  double total_cost_ = 0.0;
+  double last_print_elapsed_ = -1.0;  ///< elapsed_s of the last printed update
+  std::size_t lines_ = 0;
+};
+
+}  // namespace frieda::obs

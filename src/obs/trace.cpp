@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -70,6 +71,10 @@ void Tracer::span(TraceEvent ev) {
   ev.kind = TraceEvent::Kind::kSpan;
   if (ev.end < ev.start) ev.end = ev.start;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (at_cap()) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(ev));
 }
 
@@ -77,7 +82,26 @@ void Tracer::instant(TraceEvent ev) {
   ev.kind = TraceEvent::Kind::kInstant;
   ev.end = ev.start;
   std::lock_guard<std::mutex> lock(mutex_);
+  if (at_cap()) {
+    ++dropped_;
+    return;
+  }
   events_.push_back(std::move(ev));
+}
+
+void Tracer::set_max_events(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_events_ = cap;
+}
+
+std::size_t Tracer::max_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_events_;
+}
+
+std::uint64_t Tracer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -149,6 +173,19 @@ std::string Tracer::chrome_json() const {
     }
     out += "}";
   }
+  if (dropped_ > 0) {
+    // Truncation marker: a clipped trace must never read as a complete one.
+    double last = 0.0;
+    for (const auto& ev : events_) last = std::max(last, ev.end);
+    if (!first) out += ",";
+    out += "{\"name\":\"trace-truncated\",\"cat\":\"control\",\"pid\":";
+    out += std::to_string(static_cast<std::uint32_t>(kRunTrack));
+    out += ",\"tid\":0,\"ts\":";
+    out += std::to_string(micros(last));
+    out += ",\"ph\":\"i\",\"s\":\"t\",\"args\":{\"dropped_events\":\"";
+    out += std::to_string(dropped_);
+    out += "\"}}";
+  }
   out += "],\"displayTimeUnit\":\"ms\"}";
   return out;
 }
@@ -169,6 +206,12 @@ std::string Tracer::csv() const {
        << csv_field(ev.name) << "," << csv_field(ev.cat) << "," << ev.process << ","
        << ev.track << "," << ev.start << "," << ev.end << "," << (ev.end - ev.start) << ","
        << csv_field(args) << "\n";
+  }
+  if (dropped_ > 0) {
+    double last = 0.0;
+    for (const auto& ev : events_) last = std::max(last, ev.end);
+    os << "instant,trace-truncated,control," << static_cast<std::uint32_t>(kRunTrack)
+       << ",0," << last << "," << last << ",0,dropped_events=" << dropped_ << "\n";
   }
   return os.str();
 }

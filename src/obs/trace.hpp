@@ -50,13 +50,29 @@ struct TraceEvent {
 };
 
 /// Append-only event recorder with Chrome trace-event and CSV exporters.
+///
+/// Memory is bounded: once `max_events()` events are recorded, further
+/// events are counted in `dropped_events()` instead of stored, and the
+/// exporters append a "trace-truncated" marker so a clipped trace is never
+/// mistaken for a complete one.
 class Tracer {
  public:
+  /// Default event cap (~1M events; a traced fig6a run is ~10k).
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
   /// Record a completed [start, end) span.
   void span(TraceEvent ev);
 
   /// Record an instantaneous event at `ev.start` (`end` is ignored).
   void instant(TraceEvent ev);
+
+  /// Cap the number of stored events (0 = unbounded).  Lowering the cap
+  /// does not discard already-recorded events; it only stops new ones.
+  void set_max_events(std::size_t cap);
+  std::size_t max_events() const;
+
+  /// Events discarded because the cap was reached.
+  std::uint64_t dropped_events() const;
 
   /// Snapshot of every recorded event, in insertion order.
   std::vector<TraceEvent> events() const;
@@ -81,8 +97,13 @@ class Tracer {
   void write_csv(const std::string& path) const;
 
  private:
+  /// True (under mutex_) when the next event must be dropped.
+  bool at_cap() const { return max_events_ != 0 && events_.size() >= max_events_; }
+
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
+  std::size_t max_events_ = kDefaultMaxEvents;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace frieda::obs

@@ -298,6 +298,62 @@ TEST(Tracer, ChromeJsonParsesAndEscapes) {
   EXPECT_TRUE(found_span);
 }
 
+TEST(Tracer, EventCapDropsAndCountsAndMarksExports) {
+  Tracer t;
+  EXPECT_EQ(t.max_events(), Tracer::kDefaultMaxEvents);
+  t.set_max_events(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceEvent ev;
+    ev.name = "exec unit " + std::to_string(i);
+    ev.cat = "exec";
+    ev.start = static_cast<double>(i);
+    ev.end = static_cast<double>(i) + 0.5;
+    t.span(std::move(ev));
+  }
+  EXPECT_EQ(t.event_count(), 2u);  // stored
+  EXPECT_EQ(t.dropped_events(), 3u);
+
+  // Both exporters carry a truncation marker naming the dropped count.
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("trace-truncated"), std::string::npos);
+  EXPECT_NE(csv.find("dropped_events=3"), std::string::npos);
+  EXPECT_EQ(count_lines(csv), 1 + t.event_count() + 1);  // header + rows + marker
+  const std::string json = t.chrome_json();
+  JsonParser parser(json);
+  const Json doc = parser.parse();
+  ASSERT_FALSE(parser.failed());
+  bool marker = false;
+  for (const auto& ev : doc.at("traceEvents").array) {
+    marker |= ev.has("name") && ev.at("name").str == "trace-truncated";
+  }
+  EXPECT_TRUE(marker);
+}
+
+TEST(Tracer, NoMarkerWithoutDrops) {
+  Tracer t;
+  TraceEvent ev;
+  ev.name = "exec unit 0";
+  ev.cat = "exec";
+  ev.end = 1.0;
+  t.span(std::move(ev));
+  EXPECT_EQ(t.dropped_events(), 0u);
+  EXPECT_EQ(t.csv().find("trace-truncated"), std::string::npos);
+  EXPECT_EQ(t.chrome_json().find("trace-truncated"), std::string::npos);
+}
+
+TEST(Tracer, UnboundedCapStoresEverything) {
+  Tracer t;
+  t.set_max_events(0);  // unbounded
+  for (int i = 0; i < 100; ++i) {
+    TraceEvent ev;
+    ev.name = "e";
+    ev.cat = "exec";
+    t.span(std::move(ev));
+  }
+  EXPECT_EQ(t.event_count(), 100u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // Metrics registry in isolation
 // ---------------------------------------------------------------------------

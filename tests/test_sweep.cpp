@@ -10,18 +10,22 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "exp/calibrate.hpp"
 #include "exp/cost.hpp"
 #include "exp/grid.hpp"
 #include "exp/result_cache.hpp"
 #include "exp/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report_sink.hpp"
 #include "workload/scenarios.hpp"
 
 namespace frieda::exp {
@@ -368,7 +372,10 @@ TEST(Sweep, ScenarioCostsOrderSensibly) {
   narrow.multicore = false;
   EXPECT_GT(scenario_cost("blast", false, narrow), scenario_cost("blast", false, opt));
   // Grid stamps scenario jobs with these costs: sequential sorts first.
+  // Calibration is pinned off — earlier tests in this process may have
+  // taught the global calibrator rates that would rescale the costs.
   Grid grid;
+  grid.set_calibrator(nullptr);
   grid.add_blast(PlacementStrategy::kRealTime, opt);
   grid.add_blast_sequential(opt);
   auto jobs = grid.take();
@@ -376,6 +383,7 @@ TEST(Sweep, ScenarioCostsOrderSensibly) {
   EXPECT_GT(jobs[1].cost, jobs[0].cost);
   SweepRunner<> runner(SweepOptions{1});
   runner.set_cache(nullptr);
+  runner.set_calibrator(nullptr);
   const auto out = runner.run(std::move(jobs));
   EXPECT_EQ(runner.schedule(), (std::vector<std::size_t>{1, 0}));
   EXPECT_TRUE(out[0].ok() && out[1].ok());
@@ -628,6 +636,251 @@ TEST(Sweep, ConcurrentSweepsShareOneCache) {
       EXPECT_EQ(results[s][i].get(), static_cast<int>(((s + i) % kKeys) * 10));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded result cache: LRU eviction.
+// ---------------------------------------------------------------------------
+
+Fingerprint key_of(std::uint64_t i) {
+  StableHasher h;
+  h.mix_str("lru-test").mix_u64(i);
+  return h.digest();
+}
+
+TEST(ResultCacheLru, EvictsLeastRecentlyUsedInOrder) {
+  ResultCache<int> cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  cache.insert(key_of(0), 0);
+  cache.insert(key_of(1), 1);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // Touch 0 so 1 becomes the LRU entry, then overflow.
+  EXPECT_TRUE(cache.lookup(key_of(0)).has_value());
+  cache.insert(key_of(2), 2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup(key_of(1)).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(key_of(0)).has_value());   // kept (recently used)
+  EXPECT_TRUE(cache.lookup(key_of(2)).has_value());
+
+  // Re-inserting an existing key refreshes recency instead of evicting.
+  cache.insert(key_of(0), 0);
+  cache.insert(key_of(3), 3);
+  EXPECT_FALSE(cache.lookup(key_of(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(0)).has_value());
+}
+
+TEST(ResultCacheLru, ShrinkingTheCapEvictsImmediately) {
+  ResultCache<int> cache;  // default generous cap
+  EXPECT_EQ(cache.max_entries(), ResultCache<int>::kDefaultMaxEntries);
+  for (std::uint64_t i = 0; i < 8; ++i) cache.insert(key_of(i), static_cast<int>(i));
+  cache.set_max_entries(3);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 5u);
+  // The survivors are the three most recently inserted.
+  EXPECT_TRUE(cache.lookup(key_of(7)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(6)).has_value());
+  EXPECT_TRUE(cache.lookup(key_of(5)).has_value());
+  EXPECT_FALSE(cache.lookup(key_of(4)).has_value());
+
+  cache.set_max_entries(0);  // unbounded again
+  for (std::uint64_t i = 10; i < 30; ++i) cache.insert(key_of(i), static_cast<int>(i));
+  EXPECT_EQ(cache.size(), 23u);
+}
+
+TEST(ResultCacheLru, RunnerCountsEvictionsInMetrics) {
+  ResultCache<int> cache(1);
+  SweepRunner<int> runner(SweepOptions{1});
+  runner.set_cache(&cache);
+  std::vector<Job<int>> jobs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    jobs.push_back({"j" + std::to_string(i), [i] { return static_cast<int>(i); },
+                    key_of(100 + i)});
+  }
+  const auto out = runner.run(std::move(jobs));
+  for (const auto& o : out) EXPECT_TRUE(o.ok());
+  // Four distinct keys through a 1-entry cache: three insert-evictions.
+  const auto* evicted = runner.metrics().find_counter("sweep.cache_evictions");
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_EQ(evicted->value(), 3u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Measured-cost calibration.
+// ---------------------------------------------------------------------------
+
+TEST(Calibrator, ConvergesToObservedRate) {
+  CostCalibrator cal;
+  EXPECT_FALSE(cal.rate("als/rt").has_value());
+  EXPECT_DOUBLE_EQ(cal.calibrated("als/rt", 10.0), 10.0);  // unseen: raw passthrough
+
+  // Jobs of this class consistently take 0.5 s per cost unit.
+  for (int i = 0; i < 32; ++i) cal.observe("als/rt", 4.0, 2.0);
+  ASSERT_TRUE(cal.rate("als/rt").has_value());
+  EXPECT_NEAR(*cal.rate("als/rt"), 0.5, 1e-9);
+  EXPECT_NEAR(cal.calibrated("als/rt", 10.0), 5.0, 1e-6);
+
+  // A drifting machine: the EWMA tracks the new rate.
+  for (int i = 0; i < 64; ++i) cal.observe("als/rt", 4.0, 4.0);
+  EXPECT_NEAR(*cal.rate("als/rt"), 1.0, 1e-3);
+
+  // Garbage observations are ignored.
+  cal.observe("als/rt", 0.0, 1.0);
+  cal.observe("als/rt", 1.0, -1.0);
+  EXPECT_NEAR(*cal.rate("als/rt"), 1.0, 1e-3);
+  EXPECT_EQ(cal.classes(), 1u);
+  cal.clear();
+  EXPECT_EQ(cal.classes(), 0u);
+}
+
+TEST(Calibrator, RunnerFeedsMeasuredWallTimesPerClass) {
+  CostCalibrator cal;
+  SweepRunner<int> runner(SweepOptions{2});
+  runner.set_cache(nullptr);
+  runner.set_calibrator(&cal);
+  std::vector<Job<int>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    Job<int> job{"sleepy" + std::to_string(i), [] {
+                   std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                   return 1;
+                 }};
+    job.cost = 2.0;
+    job.calibration = Job<int>::Calibration{"test/sleepy", 2.0};
+    jobs.push_back(std::move(job));
+  }
+  (void)runner.run(std::move(jobs));
+  ASSERT_TRUE(cal.rate("test/sleepy").has_value());
+  // ~20 ms over 2 cost units => ~10 ms per unit; generous bounds for CI noise.
+  EXPECT_GT(*cal.rate("test/sleepy"), 0.002);
+  EXPECT_LT(*cal.rate("test/sleepy"), 1.0);
+  // Next grid of the same class schedules with the measured rate.
+  EXPECT_NEAR(cal.calibrated("test/sleepy", 2.0), 2.0 * *cal.rate("test/sleepy"), 1e-12);
+}
+
+TEST(Calibrator, FailedJobsTeachNothing) {
+  CostCalibrator cal;
+  SweepRunner<int> runner(SweepOptions{1});
+  runner.set_cache(nullptr);
+  runner.set_calibrator(&cal);
+  std::vector<Job<int>> jobs;
+  Job<int> bad{"boom", []() -> int { throw std::runtime_error("no"); }};
+  bad.calibration = Job<int>::Calibration{"test/boom", 1.0};
+  jobs.push_back(std::move(bad));
+  const auto out = runner.run(std::move(jobs));
+  EXPECT_FALSE(out[0].ok());
+  EXPECT_FALSE(cal.rate("test/boom").has_value());
+}
+
+TEST(Calibrator, GridStampsCalibratedCostsAndCalibrationTags) {
+  CostCalibrator cal;
+  cal.observe("blast/real-time", 1.0, 3.0);  // learned rate: 3 s per unit
+  PaperScenarioOptions opt;
+  opt.scale = 0.2;
+  Grid grid;
+  grid.set_calibrator(&cal);
+  grid.add_blast(PlacementStrategy::kRealTime, opt);
+  auto jobs = grid.take();
+  ASSERT_EQ(jobs.size(), 1u);
+  ASSERT_TRUE(jobs[0].calibration.has_value());
+  EXPECT_EQ(jobs[0].calibration->key, "blast/real-time");
+  const double raw = scenario_cost("blast", false, opt);
+  EXPECT_DOUBLE_EQ(jobs[0].calibration->raw_cost, raw);
+  EXPECT_NEAR(jobs[0].cost, 3.0 * raw, 1e-9);
+
+  // With calibration disabled the static estimate is used untouched.
+  Grid pinned;
+  pinned.set_calibrator(nullptr);
+  pinned.add_blast(PlacementStrategy::kRealTime, opt);
+  auto raw_jobs = pinned.take();
+  EXPECT_DOUBLE_EQ(raw_jobs[0].cost, raw);
+}
+
+// ---------------------------------------------------------------------------
+// Live progress reporting (opt-in; silent by default).
+// ---------------------------------------------------------------------------
+
+std::string read_all(std::FILE* f) {
+  std::fflush(f);
+  std::rewind(f);
+  std::string text;
+  char buf[256];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  return text;
+}
+
+TEST(Progress, ReporterPrintsThrottledUpdatesAndFinishLine) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  obs::ProgressOptions popt;
+  popt.min_interval_s = 0.0;  // print every update
+  popt.out = sink;
+  obs::ProgressReporter reporter(popt);
+
+  SweepRunner<int> runner(SweepOptions{2});
+  runner.set_cache(nullptr);
+  runner.set_progress(&reporter);
+  std::vector<Job<int>> jobs;
+  for (int i = 0; i < 4; ++i) {
+    jobs.push_back({"p" + std::to_string(i), [i] { return i; }});
+  }
+  const auto out = runner.run(std::move(jobs));
+  for (const auto& o : out) EXPECT_TRUE(o.ok());
+
+  EXPECT_GE(reporter.lines_printed(), 2u);  // >=1 update + the finish line
+  const std::string text = read_all(sink);
+  EXPECT_NE(text.find("sweep: ["), std::string::npos);
+  EXPECT_NE(text.find("[4/4] done"), std::string::npos);
+  std::fclose(sink);
+}
+
+TEST(Progress, ThrottleSuppressesIntermediateLines) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  obs::ProgressOptions popt;
+  popt.min_interval_s = 3600.0;  // nothing but the first update + finish
+  popt.out = sink;
+  popt.label = "grid";
+  obs::ProgressReporter reporter(popt);
+
+  reporter.begin(8, 8.0);
+  for (int i = 1; i <= 8; ++i) reporter.update(static_cast<std::size_t>(i), 0, i, 0.001 * i);
+  reporter.finish(8, 8, 0.01);
+  EXPECT_EQ(reporter.lines_printed(), 2u);
+  const std::string text = read_all(sink);
+  EXPECT_NE(text.find("grid: [1/8]"), std::string::npos);
+  EXPECT_NE(text.find("grid: [8/8] done"), std::string::npos);
+  std::fclose(sink);
+}
+
+TEST(Progress, EtaIsCostWeighted) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  obs::ProgressOptions popt;
+  popt.min_interval_s = 0.0;
+  popt.out = sink;
+  obs::ProgressReporter reporter(popt);
+  // Half the cost done in 10 s => eta ~10 s even though only 1 of 4 jobs
+  // finished (the longest-first schedule front-loads the expensive cells).
+  reporter.begin(4, 100.0);
+  reporter.update(1, 3, 50.0, 10.0);
+  const std::string text = read_all(sink);
+  EXPECT_NE(text.find("[1/4] 3 in flight, eta ~10s"), std::string::npos);
+  std::fclose(sink);
+}
+
+TEST(Progress, FromEnvDisabledByDefault) {
+  ::unsetenv("FRIEDA_SWEEP_PROGRESS");
+  EXPECT_EQ(obs::ProgressReporter::from_env(), nullptr);
+  ::setenv("FRIEDA_SWEEP_PROGRESS", "0", 1);
+  EXPECT_EQ(obs::ProgressReporter::from_env(), nullptr);
+  ::setenv("FRIEDA_SWEEP_PROGRESS", "2.5", 1);
+  EXPECT_NE(obs::ProgressReporter::from_env(), nullptr);
+  ::setenv("FRIEDA_SWEEP_PROGRESS", "yes", 1);
+  EXPECT_NE(obs::ProgressReporter::from_env(), nullptr);
+  ::unsetenv("FRIEDA_SWEEP_PROGRESS");
 }
 
 }  // namespace

@@ -1,0 +1,135 @@
+// frieda-trace: offline trace analytics for exported Chrome-trace JSON.
+//
+// Loads a trace written by obs::Tracer::write_chrome_json (e.g. the
+// trace_fig6a example or any driver run with tracing attached) and prints
+// the time-attribution / critical-path report.
+//
+//   frieda-trace run.json                     # print the report
+//   frieda-trace run.json --path 80           # show up to 80 path segments
+//   frieda-trace run.json --gantt gantt.csv   # also export the utilization
+//                                             # timeline CSV
+//   frieda-trace run.json --path-csv path.csv # also export the path CSV
+//   frieda-trace run.json --check             # validate analyzer invariants
+//                                             # (exit 1 on violation; CI)
+//
+// --check asserts the properties the analyzer guarantees by construction:
+// a non-empty critical path containing at least one real (non-wait) span,
+// path durations summing to the makespan, and attribution categories
+// summing to worker-seconds (percentages sum to 100 within 0.1).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "obs/analysis.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.json> [--check] [--path N] [--gantt out.csv] "
+               "[--path-csv out.csv]\n",
+               argv0);
+  return 2;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  FRIEDA_CHECK(out.good(), "cannot open '" << path << "'");
+  out << content;
+  FRIEDA_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+/// The invariants CI asserts on every traced fig6a run.
+int check(const frieda::obs::TraceAnalysis& a) {
+  int failures = 0;
+  const auto fail = [&failures](const char* what, double got, double want) {
+    std::fprintf(stderr, "CHECK FAILED: %s (got %.9f, want %.9f)\n", what, got, want);
+    ++failures;
+  };
+
+  if (!a.anchored) {
+    std::fprintf(stderr, "CHECK FAILED: no run-anchor span (cat \"run\") in trace\n");
+    ++failures;
+  }
+  if (a.makespan() <= 0.0) fail("makespan > 0", a.makespan(), 0.0);
+
+  std::size_t real_segments = 0;
+  for (const auto& seg : a.critical_path) real_segments += !seg.wait;
+  if (a.critical_path.empty() || real_segments == 0) {
+    std::fprintf(stderr,
+                 "CHECK FAILED: critical path empty or wait-only (%zu segments, %zu real)\n",
+                 a.critical_path.size(), real_segments);
+    ++failures;
+  }
+
+  // Path tiles the run window: durations sum to the makespan.
+  const double path_tol = 1e-6 * std::max(1.0, a.makespan());
+  if (std::abs(a.critical_path_seconds() - a.makespan()) > path_tol) {
+    fail("critical path sums to makespan", a.critical_path_seconds(), a.makespan());
+  }
+
+  // Attribution partitions worker-seconds: percentages sum to 100 +- 0.1.
+  if (!a.workers.empty()) {
+    const double pct = 100.0 * a.totals.total() / a.worker_seconds();
+    if (std::abs(pct - 100.0) > 0.1) fail("attribution percentages sum to 100", pct, 100.0);
+  } else {
+    std::fprintf(stderr, "CHECK FAILED: no worker lanes found in trace\n");
+    ++failures;
+  }
+
+  if (failures == 0) {
+    std::printf("frieda-trace --check: all invariants hold (%zu events, %zu workers, "
+                "makespan %.6f s)\n",
+                a.events, a.workers.size(), a.makespan());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string gantt_path;
+  std::string path_csv_path;
+  std::size_t max_path_rows = 40;
+  bool do_check = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      do_check = true;
+    } else if (std::strcmp(arg, "--path") == 0 && i + 1 < argc) {
+      max_path_rows = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(arg, "--gantt") == 0 && i + 1 < argc) {
+      gantt_path = argv[++i];
+    } else if (std::strcmp(arg, "--path-csv") == 0 && i + 1 < argc) {
+      path_csv_path = argv[++i];
+    } else if (arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+
+  try {
+    const auto events = frieda::obs::read_chrome_trace(trace_path);
+    const auto analysis = frieda::obs::TraceAnalyzer::analyze(events);
+    if (!gantt_path.empty()) write_file(gantt_path, frieda::obs::gantt_csv(analysis));
+    if (!path_csv_path.empty()) {
+      write_file(path_csv_path, frieda::obs::critical_path_csv(analysis));
+    }
+    if (do_check) return check(analysis);
+    std::fputs(frieda::obs::render_report(analysis, max_path_rows).c_str(), stdout);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "frieda-trace: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
