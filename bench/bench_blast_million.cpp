@@ -1,0 +1,138 @@
+// BENCH — headline scale driver: one million BLAST work units on a 10k-VM
+// hierarchical cluster.
+//
+// The paper's evaluation tops out at 61 VMs and 7,500 sequences; the
+// ROADMAP's north star is cloud scale.  This driver provisions 10,000
+// single-core VMs grouped into racks of 40 behind shared uplinks, builds a
+// million-sequence BLAST catalog, pre-places the partitions (the
+// data-in-the-VM-image configuration of Figure 6a), and runs the full
+// controller/master/worker protocol end to end — a million dispatched,
+// executed and accounted work units in one simulation.
+//
+// Pre-partitioned local is the right placement here: execution is
+// data-local, so the run measures engine scale (event queue, protocol
+// channels, per-class completion scheduling) rather than a single saturated
+// source NIC.  The incremental network solver keeps what network activity
+// remains (NIC registration, failure bookkeeping) out of the hot path; the
+// transfer-heavy scale story is told by BM_NetworkManyFlows/16384 and
+// BM_NetworkChurn in bench_micro_engine.
+//
+// Prints units, makespan, simulator events, wall clock and the network
+// solver counters, and exits non-zero when the wall clock exceeds the
+// recorded budget (BENCH_engine.json) so CI can catch regressions.
+//
+//   bench_blast_million                      # full headline run
+//   bench_blast_million --units 20000 --vms 500   # scaled-down smoke
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cluster/cluster.hpp"
+#include "frieda/partition.hpp"
+#include "frieda/run.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulation.hpp"
+#include "workload/blast.hpp"
+
+using namespace frieda;
+
+int main(int argc, char** argv) {
+  std::size_t units = 1'000'000;
+  std::size_t vm_count = 10'000;
+  std::size_t rack_size = 40;
+  double budget_seconds = 0.0;  // 0 = report only, no enforcement
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (!std::strcmp(argv[i], "--units")) {
+      units = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--vms")) {
+      vm_count = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--rack-size")) {
+      rack_size = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--budget")) {
+      budget_seconds = std::strtod(argv[i + 1], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--units N] [--vms N] [--rack-size N] [--budget SECONDS]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (rack_size == 0) rack_size = 1;
+
+  std::printf("BLAST at scale: %zu units on %zu VMs (racks of %zu)...\n", units, vm_count,
+              rack_size);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  sim::Simulation sim(/*seed=*/2);
+  cluster::ClusterOptions copts;
+  copts.source_nic_up = gbps(10);  // data source sized for a 10k-VM fleet
+  copts.source_nic_down = gbps(10);
+  cluster::VirtualCluster cluster(sim, copts);
+
+  auto type = cluster::c1_xlarge();
+  type.cores = 1;  // one worker per VM: 10k workers, ~100 units each
+  type.nic_up = gbps(1);
+  type.nic_down = gbps(1);
+  type.boot_time = 0.0;
+  const auto vms = cluster.provision(type, vm_count);
+
+  // Rack hierarchy: racks of `rack_size` VMs behind a shared 40 Gbps uplink.
+  // The data source hangs off the core switch directly (no uplink).
+  auto& topo = cluster.network().topology();
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const auto rack = static_cast<net::RackId>(i / rack_size);
+    topo.set_rack(cluster.vm(vms[i]).node(), rack);
+  }
+  for (net::RackId r = 0; r * rack_size < vms.size(); ++r) {
+    topo.set_rack_uplink(r, gbps(40));
+  }
+
+  auto params = workload::BlastParams::paper();
+  params.sequence_count = units;
+  const workload::BlastModel app(params);
+
+  auto work = core::PartitionGenerator::generate(core::PartitionScheme::kSingleFile,
+                                                 app.catalog());
+  obs::MetricsRegistry metrics;
+  core::RunOptions ropt;
+  ropt.strategy = core::PlacementStrategy::kPrePartitionLocal;
+  ropt.scheme = core::PartitionScheme::kSingleFile;
+  ropt.multicore = true;
+  ropt.metrics = &metrics;
+  core::FriedaRun run(cluster, app.catalog(), std::move(work),  app,
+                      core::CommandTemplate("blastall -p blastp -d /data/db $inp1"), ropt);
+  run.pre_place_partitions(vms);
+  const auto report = run.run();
+
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto* c = metrics.find_counter(name);
+    return c ? c->value() : 0;
+  };
+  std::printf("  units completed     : %zu / %zu\n", report.units_completed, units);
+  std::printf("  makespan (sim)      : %.2f s\n", report.makespan());
+  std::printf("  simulator events    : %llu (%.0f events/s wall)\n",
+              static_cast<unsigned long long>(sim.events_processed()),
+              static_cast<double>(sim.events_processed()) / wall);
+  std::printf("  network solver      : %llu solves, %llu full, %llu dirty classes\n",
+              static_cast<unsigned long long>(counter("net.solver_invocations")),
+              static_cast<unsigned long long>(counter("net.solver_full_solves")),
+              static_cast<unsigned long long>(counter("net.solver_dirty_classes")));
+  std::printf("  wall clock          : %.2f s\n", wall);
+
+  if (report.units_completed != units) {
+    std::printf("  FAIL: %zu units unaccounted\n", units - report.units_completed);
+    return 1;
+  }
+  if (budget_seconds > 0.0 && wall > budget_seconds) {
+    std::printf("  FAIL: wall clock %.2f s exceeds budget %.2f s\n", wall, budget_seconds);
+    return 1;
+  }
+  std::printf("  OK%s\n",
+              budget_seconds > 0.0 ? " (within wall-clock budget)" : "");
+  return 0;
+}

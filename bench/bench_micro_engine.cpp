@@ -128,7 +128,64 @@ void BM_NetworkManyFlows(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(flows));
 }
-BENCHMARK(BM_NetworkManyFlows)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_NetworkManyFlows)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_NetworkChurn(benchmark::State& state) {
+  // Churn-heavy incremental-solver stress: a hierarchical rack topology where
+  // long-lived cross-rack background flows (which chain every rack together
+  // through the uplinks) coexist with rapid-fire intra-rack transfers.  Each
+  // churn arrival/departure perturbs exactly one flow class while the
+  // background classes are untouched, so a minority of flows change per
+  // solve — the regime where dirty-set propagation beats re-solving the
+  // whole network.
+  const std::size_t churn = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kRacks = 48;
+  constexpr std::size_t kPerRack = 4;
+  const auto node = [](std::size_t rack, std::size_t i) {
+    return static_cast<net::NodeId>(rack * kPerRack + i);
+  };
+  for (auto _ : state) {
+    sim::Simulation sim(23);
+    net::Topology topo;
+    for (std::size_t r = 0; r < kRacks; ++r) {
+      for (std::size_t i = 0; i < kPerRack; ++i) {
+        const auto id = topo.add_node("r" + std::to_string(r) + "n" + std::to_string(i),
+                                      gbps(1), gbps(1));
+        topo.set_rack(id, static_cast<net::RackId>(r));
+      }
+      topo.set_rack_uplink(static_cast<net::RackId>(r), gbps(4));
+    }
+    net::Network netw(sim, std::move(topo), /*latency=*/1e-4);
+    // Long-lived background: four streams per rack to the next rack over,
+    // outlasting the entire churn phase.
+    for (std::size_t r = 0; r < kRacks; ++r) {
+      sim.spawn([](net::Network& n, net::NodeId s, net::NodeId d) -> sim::Task<> {
+        (void)co_await n.transfer(s, d, 100 * GB, /*streams=*/4);
+      }(netw, node(r, 0), node((r + 1) % kRacks, 1)));
+    }
+    // Churn lanes: per rack, a back-to-back sequence of small intra-rack
+    // transfers — every completion immediately triggers the next arrival.
+    const std::size_t per_lane = churn / kRacks;
+    for (std::size_t r = 0; r < kRacks; ++r) {
+      sim.spawn([](net::Network& n, net::NodeId s, net::NodeId d,
+                   std::size_t count) -> sim::Task<> {
+        for (std::size_t i = 0; i < count; ++i) {
+          (void)co_await n.transfer(s, d, 4 * MB);
+        }
+      }(netw, node(r, 2), node(r, 3), per_lane));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(netw.total_bytes_moved());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(churn / kRacks * kRacks));
+}
+BENCHMARK(BM_NetworkChurn)->Arg(2304)->Arg(9216)->Unit(benchmark::kMillisecond);
 
 void BM_PartitionGenerate(benchmark::State& state) {
   storage::FileCatalog cat;

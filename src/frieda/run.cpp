@@ -1183,6 +1183,9 @@ RunReport FriedaRun::run() {
   ran_ = true;
   bytes_baseline_ = cluster_.network().total_bytes_moved();
   transfers_baseline_ = cluster_.network().transfers_started();
+  solves_baseline_ = cluster_.network().solver_invocations();
+  full_solves_baseline_ = cluster_.network().solver_full_solves();
+  dirty_classes_baseline_ = cluster_.network().solver_dirty_classes();
   cluster_.network().set_tracer(tracer_);
   cluster_.network().set_metrics(options_.metrics);
 
@@ -1240,6 +1243,16 @@ RunReport FriedaRun::run() {
     ev.args.push_back({"app", app_.name()});
     ev.args.push_back({"strategy", std::string(to_string(options_.strategy))});
     ev.args.push_back({"workers", std::to_string(workers_.size())});
+    // Solver activity over the run window, so frieda-trace can report the
+    // incremental-solve hit rate without needing a metrics registry.
+    const auto& netw = cluster_.network();
+    ev.args.push_back(
+        {"net_solves", std::to_string(netw.solver_invocations() - solves_baseline_)});
+    ev.args.push_back({"net_full_solves",
+                       std::to_string(netw.solver_full_solves() - full_solves_baseline_)});
+    ev.args.push_back(
+        {"net_dirty_classes",
+         std::to_string(netw.solver_dirty_classes() - dirty_classes_baseline_)});
     tracer_->span(std::move(ev));
   }
   if (options_.metrics) {

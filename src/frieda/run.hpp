@@ -283,6 +283,9 @@ class FriedaRun {
 
   Bytes bytes_baseline_ = 0;
   std::uint64_t transfers_baseline_ = 0;
+  std::uint64_t solves_baseline_ = 0;
+  std::uint64_t full_solves_baseline_ = 0;
+  std::uint64_t dirty_classes_baseline_ = 0;
 
   // Observability state: tracer_ mirrors options_.tracer (hot-path guard),
   // the counters are resolved once from options_.metrics in the constructor,

@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -20,7 +21,6 @@ constexpr double kEpsilonBytes = 1e-6;
 constexpr double kMinTimeStep = 1e-9;
 
 // Persistent resource key space: kind in the top bits, node/pair id below.
-// Mirrors the table the pre-coalescing implementation rebuilt per recompute.
 std::uint64_t egress_key(NodeId n) { return 0x1000000000ull + n; }
 std::uint64_t ingress_key(NodeId n) { return 0x2000000000ull + n; }
 std::uint64_t pair_key(NodeId s, NodeId d) {
@@ -32,6 +32,7 @@ std::uint64_t site_key(SiteId a, SiteId b) {
   if (a > b) std::swap(a, b);
   return 0x6000000000ull + (static_cast<std::uint64_t>(a) << 16) + b;
 }
+std::uint64_t rack_key(RackId r) { return 0x7000000000ull + r; }
 
 std::uint64_t class_key(NodeId src, NodeId dst) {
   return (static_cast<std::uint64_t>(src) << 32) | dst;
@@ -50,6 +51,8 @@ void Network::set_metrics(obs::MetricsRegistry* registry) {
     return;
   }
   metrics_.solver_invocations = &registry->counter("net.solver_invocations");
+  metrics_.solver_full_solves = &registry->counter("net.solver_full_solves");
+  metrics_.solver_dirty_classes = &registry->counter("net.solver_dirty_classes");
   metrics_.flows_coalesced = &registry->counter("net.flows_coalesced");
   metrics_.bytes_moved = &registry->counter("net.bytes_moved");
   metrics_.transfers = &registry->counter("net.transfers");
@@ -59,6 +62,8 @@ void Network::set_metrics(obs::MetricsRegistry* registry) {
 void Network::finish_transfer(NodeId src, NodeId dst, TransferResult& result,
                               std::uint64_t solves_at_start) {
   result.finished = sim_.now();
+  const NodeId hi = std::max(src, dst);
+  if (traffic_.size() <= hi) traffic_.resize(std::max<std::size_t>(topology_.node_count(), hi + 1));
   traffic_[src].bytes_sent += result.transferred;
   traffic_[dst].bytes_received += result.transferred;
   total_bytes_moved_ += result.transferred;
@@ -104,6 +109,7 @@ std::size_t Network::resource_id(std::uint64_t key, Bandwidth cap) {
   const auto [it, inserted] = resource_ids_.emplace(key, resource_caps_.size());
   if (inserted) {
     resource_caps_.push_back(cap);
+    resource_users_.emplace_back();
     resource_dense_.push_back(0);
     resource_epoch_.push_back(0);
   }
@@ -121,6 +127,23 @@ void Network::rebuild_class_resources(FlowClass& cls) {
     const Bandwidth pair_cap = topology_.pair_limit(cls.src, cls.dst);
     if (pair_cap != std::numeric_limits<Bandwidth>::infinity()) {
       cls.resources.push_back(resource_id(pair_key(cls.src, cls.dst), pair_cap));
+    }
+    if (topology_.has_rack_uplinks()) {
+      // Hierarchy level between node and core: a flow leaving (or entering) a
+      // rack traverses that rack's shared uplink; intra-rack traffic bypasses
+      // it.  Both lookups are O(1) vector indexing.
+      const RackId ra = topology_.rack(cls.src);
+      const RackId rb = topology_.rack(cls.dst);
+      if (ra != rb) {
+        const Bandwidth up_a = topology_.rack_uplink(ra);
+        if (up_a != std::numeric_limits<Bandwidth>::infinity()) {
+          cls.resources.push_back(resource_id(rack_key(ra), up_a));
+        }
+        const Bandwidth up_b = topology_.rack_uplink(rb);
+        if (up_b != std::numeric_limits<Bandwidth>::infinity()) {
+          cls.resources.push_back(resource_id(rack_key(rb), up_b));
+        }
+      }
     }
     if (topology_.has_backbone_cap()) {
       cls.resources.push_back(resource_id(kBackboneKey, topology_.backbone_capacity()));
@@ -169,24 +192,32 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
 
   streams = static_cast<unsigned>(
       std::min<Bytes>(streams, std::max<Bytes>(bytes, 1)));  // no empty streams
-  const std::uint32_t cls = class_for(src, dst);
+  const std::uint32_t slot = class_for(src, dst);
+  FlowClass& cls = classes_[slot];
+  if (cls.active) {
+    accrue(cls);  // targets below are relative to the class's work *now*
+  } else {
+    activate_class(slot);
+  }
+  const auto heap_less = [](const FlowPtr& a, const FlowPtr& b) {
+    return a->target > b->target || (a->target == b->target && a->seq > b->seq);
+  };
   std::vector<FlowPtr> stream_flows;
   stream_flows.reserve(streams);
-  advance_flows();
   for (unsigned s = 0; s < streams; ++s) {
     const Bytes share = bytes / streams + (s < bytes % streams ? 1 : 0);
     auto flow = std::make_shared<Flow>();
-    flow->src = src;
-    flow->dst = dst;
     flow->requested = share;
-    flow->remaining = static_cast<double>(share);
-    flow->started = sim_.now();
-    flow->class_slot = cls;
+    flow->target = cls.work + static_cast<double>(share);
+    flow->seq = next_flow_seq_++;
+    flow->class_slot = slot;
     flow->signal = std::make_unique<sim::Signal>(sim_);
-    flows_.push_back(flow);
+    cls.heap.push_back(flow);
+    std::push_heap(cls.heap.begin(), cls.heap.end(), heap_less);
     stream_flows.push_back(std::move(flow));
   }
-  recompute_rates();
+  live_flows_ += streams;
+  resolve(slot);
 
   for (const auto& flow : stream_flows) co_await flow->signal->wait();
 
@@ -194,112 +225,290 @@ sim::Task<TransferResult> Network::transfer(NodeId src, NodeId dst, Bytes bytes,
   result.transferred = 0;
   for (const auto& flow : stream_flows) {
     if (flow->status == TransferStatus::kFailed) result.status = TransferStatus::kFailed;
-    const double moved =
-        static_cast<double>(flow->requested) - std::max(flow->remaining, 0.0);
-    result.transferred += flow->status == TransferStatus::kCompleted
-                              ? flow->requested
-                              : static_cast<Bytes>(moved + 0.5);
+    if (flow->status == TransferStatus::kCompleted) {
+      result.transferred += flow->requested;
+    } else {
+      // Partial bytes of an aborted flow; the fluid model can overshoot the
+      // request by a fraction of a byte, so clamp to what was asked for.
+      const double moved =
+          static_cast<double>(flow->requested) - std::max(flow->remaining, 0.0);
+      result.transferred +=
+          std::min<Bytes>(flow->requested, static_cast<Bytes>(moved + 0.5));
+    }
   }
   finish_transfer(src, dst, result, solves_at_start);
   co_return result;
 }
 
-void Network::advance_flows() {
+void Network::accrue(FlowClass& cls) {
   const SimTime now = sim_.now();
-  const SimTime dt = now - last_advance_;
-  if (dt > 0.0) {
-    for (auto& flow : flows_) flow->remaining -= flow->rate * dt;
-  }
-  last_advance_ = now;
+  const SimTime dt = now - cls.work_time;
+  if (dt > 0.0 && cls.rate > 0.0) cls.work += cls.rate * dt;
+  cls.work_time = now;
 }
 
-void Network::recompute_rates() {
-  // Drop finished flows from the active set first (compacted in place).
-  std::size_t keep = 0;
-  for (auto& flow : flows_) {
-    if (flow->done) continue;
-    if (flow->remaining <= kEpsilonBytes ||
-        (flow->rate > 0.0 && flow->remaining <= flow->rate * kMinTimeStep)) {
-      complete_flow(flow, TransferStatus::kCompleted);
-      continue;
-    }
-    flows_[keep++] = std::move(flow);
+void Network::activate_class(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  cls.active = true;
+  cls.active_index = static_cast<std::uint32_t>(active_classes_.size());
+  active_classes_.push_back(slot);
+  cls.rate = 0.0;
+  cls.work = 0.0;
+  cls.work_time = sim_.now();
+}
+
+void Network::deactivate_class(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  if (cls.attached) detach_class(slot);
+  if (cls.completion.pending()) sim_.cancel(cls.completion);
+  cls.active = false;
+  cls.rate = 0.0;
+  // Swap-remove from active_classes_, fixing the moved class's back-pointer.
+  const std::uint32_t last = active_classes_.back();
+  active_classes_[cls.active_index] = last;
+  classes_[last].active_index = cls.active_index;
+  active_classes_.pop_back();
+}
+
+void Network::attach_class(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  cls.user_pos.resize(cls.resources.size());
+  for (std::size_t i = 0; i < cls.resources.size(); ++i) {
+    auto& users = resource_users_[cls.resources[i]];
+    cls.user_pos[i] = static_cast<std::uint32_t>(users.size());
+    users.push_back(slot);
   }
-  flows_.resize(keep);
+  cls.attached = true;
+}
 
-  if (completion_event_.pending()) sim_.cancel(completion_event_);
-  active_classes_.clear();
-  if (flows_.empty()) return;
+void Network::detach_class(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  for (std::size_t i = 0; i < cls.resources.size(); ++i) {
+    const std::size_t pid = cls.resources[i];
+    auto& users = resource_users_[pid];
+    const std::uint32_t pos = cls.user_pos[i];
+    const std::uint32_t moved = users.back();
+    users[pos] = moved;
+    users.pop_back();
+    if (moved != slot) {
+      // Tell the moved class where it lives now (its resource lists are
+      // short — at most egress/ingress/pair/2 uplinks/backbone/site).
+      FlowClass& other = classes_[moved];
+      for (std::size_t j = 0; j < other.resources.size(); ++j) {
+        if (other.resources[j] == pid) {
+          other.user_pos[j] = pos;
+          break;
+        }
+      }
+    }
+  }
+  cls.attached = false;
+}
 
-  // Invalidate the persistent resource registry when the topology or the
-  // failure set changed; class constraint vectors re-cache lazily below.
+void Network::resolve(std::uint32_t seed_slot) {
   const std::uint64_t version = invalidation_version();
   if (!resources_valid_ || resources_version_ != version) {
-    resource_ids_.clear();
-    resource_caps_.clear();
-    resource_dense_.clear();
-    resource_epoch_.clear();
-    resources_version_ = version;
-    resources_valid_ = true;
+    full_solve();
+    return;
   }
+  collect_component(seed_slot);
+  solve_component(/*full=*/false);
+}
 
-  // Collect the active classes in first-flow order, counting live members.
-  ++solve_epoch_;
-  for (const auto& flow : flows_) {
-    FlowClass& cls = classes_[flow->class_slot];
-    if (cls.epoch != solve_epoch_) {
-      cls.epoch = solve_epoch_;
-      cls.live = 0;
-      cls.order = static_cast<std::uint32_t>(active_classes_.size());
-      active_classes_.push_back(flow->class_slot);
-      if (!cls.cached || cls.cached_version != version) rebuild_class_resources(cls);
+void Network::collect_component(std::uint32_t seed_slot) {
+  const std::uint64_t bfs_epoch = ++solve_epoch_;
+  component_.clear();
+  classes_[seed_slot].visit_epoch = bfs_epoch;
+  component_.push_back(seed_slot);
+  for (std::size_t i = 0; i < component_.size(); ++i) {
+    const std::uint32_t slot = component_[i];
+    FlowClass& cls = classes_[slot];
+    if (!cls.attached) {
+      // Freshly (re)activated class: cache its constraint vector against the
+      // current registry and register it with its resources.
+      if (!cls.cached || cls.cached_version != resources_version_) {
+        rebuild_class_resources(cls);
+      }
+      attach_class(slot);
     }
-    ++cls.live;
+    for (const std::size_t pid : cls.resources) {
+      if (resource_epoch_[pid] == bfs_epoch) continue;
+      resource_epoch_[pid] = bfs_epoch;
+      for (const std::uint32_t user : resource_users_[pid]) {
+        FlowClass& other = classes_[user];
+        if (other.visit_epoch == bfs_epoch) continue;
+        other.visit_epoch = bfs_epoch;
+        component_.push_back(user);
+      }
+    }
   }
+}
 
-  // Densify: remap each active class's persistent resource ids onto a compact
-  // 0..n-1 capacity table (stale resources of departed classes are skipped).
-  const std::size_t nc = active_classes_.size();
+void Network::full_solve() {
+  const std::uint64_t version = invalidation_version();
+  // Rebuild the resource registry from scratch: capacities may have changed
+  // (set_nic and friends) and the key → id mapping with them.
+  resource_ids_.clear();
+  resource_caps_.clear();
+  resource_users_.clear();
+  resource_dense_.clear();
+  resource_epoch_.clear();
+  resources_version_ = version;
+  resources_valid_ = true;
+  component_ = active_classes_;
+  for (const std::uint32_t slot : component_) {
+    FlowClass& cls = classes_[slot];
+    cls.attached = false;  // the user lists above are gone
+    rebuild_class_resources(cls);
+    attach_class(slot);
+  }
+  ++full_solves_;
+  if (metrics_.solver_full_solves) metrics_.solver_full_solves->inc();
+  solve_component(/*full=*/true);
+}
+
+void Network::solve_component(bool full) {
+  const auto heap_less = [](const FlowPtr& a, const FlowPtr& b) {
+    return a->target > b->target || (a->target == b->target && a->seq > b->seq);
+  };
+  // Bring every dirty class's work level up to now at its old rate, then
+  // drain the flows that have reached their target.
+  drained_.clear();
+  for (const std::uint32_t slot : component_) {
+    FlowClass& cls = classes_[slot];
+    accrue(cls);
+    while (!cls.heap.empty()) {
+      const FlowPtr& f = cls.heap.front();
+      const double remaining = f->target - cls.work;
+      if (remaining <= kEpsilonBytes ||
+          (cls.rate > 0.0 && remaining <= cls.rate * kMinTimeStep)) {
+        drained_.push_back(f);
+        std::pop_heap(cls.heap.begin(), cls.heap.end(), heap_less);
+        cls.heap.pop_back();
+      } else {
+        break;
+      }
+    }
+  }
+  if (!drained_.empty()) {
+    // Complete in global arrival order so waiter wake-ups match the order
+    // the pre-incremental implementation produced (it swept a flat flow list).
+    std::sort(drained_.begin(), drained_.end(),
+              [](const FlowPtr& a, const FlowPtr& b) { return a->seq < b->seq; });
+    live_flows_ -= drained_.size();
+    for (const auto& flow : drained_) complete_flow(flow, TransferStatus::kCompleted);
+    drained_.clear();
+  }
+  // Emptied classes leave the active set (and the constraint graph).
+  std::size_t keep = 0;
+  for (const std::uint32_t slot : component_) {
+    if (classes_[slot].heap.empty()) {
+      deactivate_class(slot);
+    } else {
+      component_[keep++] = slot;
+    }
+  }
+  component_.resize(keep);
+  if (component_.empty()) return;
+
+  // Densify the component's resources onto a compact capacity table.
+  const std::uint64_t dense_epoch = ++solve_epoch_;
+  const std::size_t nc = component_.size();
   if (solver_classes_.size() < nc) solver_classes_.resize(nc);  // grow-only
   dense_caps_.clear();
+  std::size_t component_flows = 0;
   for (std::size_t i = 0; i < nc; ++i) {
-    const FlowClass& cls = classes_[active_classes_[i]];
+    FlowClass& cls = classes_[component_[i]];
+    cls.comp_index = static_cast<std::uint32_t>(i);
     WeightedFlowConstraints& wc = solver_classes_[i];
     wc.resources.clear();
     for (const std::size_t pid : cls.resources) {
-      if (resource_epoch_[pid] != solve_epoch_) {
-        resource_epoch_[pid] = solve_epoch_;
+      if (resource_epoch_[pid] != dense_epoch) {
+        resource_epoch_[pid] = dense_epoch;
         resource_dense_[pid] = dense_caps_.size();
         dense_caps_.push_back(resource_caps_[pid]);
       }
       wc.resources.push_back(resource_dense_[pid]);
     }
-    wc.count = cls.live;
+    wc.count = cls.heap.size();
+    component_flows += cls.heap.size();
   }
 
   ++solves_;
+  dirty_classes_total_ += nc;
   if (metrics_.solver_invocations) {
     metrics_.solver_invocations->inc();
-    metrics_.flows_coalesced->inc(flows_.size() - nc);
+    metrics_.solver_dirty_classes->inc(nc);
+    metrics_.flows_coalesced->inc(component_flows - nc);
   }
   max_min_fair_rates_weighted(dense_caps_, solver_classes_.data(), nc, fair_scratch_,
                               class_rates_);
 
-  SimTime next_completion = std::numeric_limits<SimTime>::infinity();
-  for (const auto& flow : flows_) {
-    const Bandwidth rate = class_rates_[classes_[flow->class_slot].order];
-    flow->rate = rate;
-    if (rate > 0.0) {
-      next_completion = std::min(next_completion, flow->remaining / rate);
+  if (full) {
+    // The pre-incremental solver required global progress; keep that check
+    // where we still see the whole system at once.
+    bool any_progress = false;
+    for (std::size_t i = 0; i < nc; ++i) any_progress |= class_rates_[i] > 0.0;
+    FRIEDA_CHECK(any_progress, "active flows exist but none can make progress");
+  }
+
+  for (std::size_t i = 0; i < nc; ++i) {
+    classes_[component_[i]].rate = class_rates_[i];
+    update_completion(component_[i]);
+  }
+
+  if (differential_check_) run_differential_check();
+}
+
+void Network::update_completion(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  if (cls.rate <= 0.0) {
+    // No finite bottleneck (orphan class): it cannot drain until some event
+    // changes its component.  Matches the pre-incremental behavior of a
+    // zero-rate flow simply never contributing a completion estimate.
+    if (cls.completion.pending()) sim_.cancel(cls.completion);
+    return;
+  }
+  const SimTime now = sim_.now();  // == cls.work_time after accrue()
+  const SimTime t =
+      now + std::max((cls.heap.front()->target - cls.work) / cls.rate, kMinTimeStep);
+  if (cls.completion.pending()) {
+    // Keep the pending event when the drain moved later (a rate drop): it
+    // fires early, finds nothing drained, and re-arms itself at the exact
+    // time without a solve (on_class_completion's fast path).  Cancelling
+    // and rescheduling O(component) events per solve is what this avoids —
+    // lazy tombstones would otherwise dominate small components.
+    if (t >= cls.completion_time) return;
+    sim_.cancel(cls.completion);
+  }
+  cls.completion_time = t;
+  cls.completion = sim_.schedule_in(t - now, [this, slot] { on_class_completion(slot); });
+}
+
+void Network::on_class_completion(std::uint32_t slot) {
+  FlowClass& cls = classes_[slot];
+  if (!cls.active) return;  // deactivated after this event was already inflight
+  // Fast re-arm: the event fired before the actual drain (its estimate went
+  // stale when the class's rate dropped).  If nothing invalidated the rates
+  // since — any solve touching this component would have updated cls.rate
+  // and this event — the stored rate gives the exact drain time, so re-arm
+  // without re-solving anything.
+  if (resources_valid_ && resources_version_ == invalidation_version() &&
+      cls.rate > 0.0 && !cls.heap.empty()) {
+    accrue(cls);
+    const double remaining = cls.heap.front()->target - cls.work;
+    if (remaining > kEpsilonBytes && remaining > cls.rate * kMinTimeStep) {
+      const SimTime now = sim_.now();
+      const SimTime t = now + std::max(remaining / cls.rate, kMinTimeStep);
+      cls.completion_time = t;
+      cls.completion = sim_.schedule_in(t - now, [this, slot] { on_class_completion(slot); });
+      return;
     }
   }
-  FRIEDA_CHECK(next_completion != std::numeric_limits<SimTime>::infinity(),
-               "active flows exist but none can make progress");
-
-  completion_event_ = sim_.schedule_in(std::max(next_completion, kMinTimeStep), [this] {
-    advance_flows();
-    recompute_rates();
-  });
+  // A real drain (or an invalidation): the sweep covers the whole component,
+  // so simultaneous completions behind one bottleneck resolve in a single
+  // pass (their own events then find empty heaps / get cancelled).
+  resolve(slot);
 }
 
 void Network::complete_flow(const FlowPtr& flow, TransferStatus status) {
@@ -309,18 +518,60 @@ void Network::complete_flow(const FlowPtr& flow, TransferStatus status) {
   flow->signal->trigger();
 }
 
+void Network::run_differential_check() {
+  // Fresh, from-first-principles solve over every active class, compared
+  // against the incrementally maintained rates.  Deliberately uses local
+  // buffers so it cannot disturb the persistent state it is auditing.
+  std::unordered_map<std::size_t, std::size_t> dense;
+  std::vector<Bandwidth> caps;
+  std::vector<WeightedFlowConstraints> classes;
+  classes.reserve(active_classes_.size());
+  for (const std::uint32_t slot : active_classes_) {
+    const FlowClass& cls = classes_[slot];
+    WeightedFlowConstraints wc;
+    for (const std::size_t pid : cls.resources) {
+      const auto [it, inserted] = dense.emplace(pid, caps.size());
+      if (inserted) caps.push_back(resource_caps_[pid]);
+      wc.resources.push_back(it->second);
+    }
+    wc.count = cls.heap.size();
+    classes.push_back(std::move(wc));
+  }
+  FairshareScratch scratch;
+  std::vector<Bandwidth> rates;
+  max_min_fair_rates_weighted(caps, classes.data(), classes.size(), scratch, rates);
+  for (std::size_t i = 0; i < active_classes_.size(); ++i) {
+    const FlowClass& cls = classes_[active_classes_[i]];
+    const double tol = 1e-9 * std::max(1.0, rates[i]);
+    FRIEDA_CHECK(std::abs(cls.rate - rates[i]) <= tol,
+                 "incremental rate diverged from full solve for class "
+                     << cls.src << "->" << cls.dst << ": incremental " << cls.rate
+                     << " vs full " << rates[i]);
+  }
+}
+
 void Network::fail_node(NodeId node) {
   if (!failed_nodes_.insert(node).second) return;
   ++failure_version_;
   FLOG(kDebug, "net", "node " << node << " failed; aborting its flows");
-  advance_flows();
-  for (auto& flow : flows_) {
-    if (flow->done) continue;
-    if (flow->src == node || flow->dst == node) {
+  // Abort every flow touching the node, crediting the bytes its class's old
+  // rate delivered up to now (the awaiting transfer reports partial bytes).
+  component_ = active_classes_;  // snapshot: deactivation mutates the list
+  for (const std::uint32_t slot : component_) {
+    FlowClass& cls = classes_[slot];
+    if (cls.src != node && cls.dst != node) continue;
+    accrue(cls);
+    live_flows_ -= cls.heap.size();
+    for (const auto& flow : cls.heap) {
+      flow->remaining = std::max(flow->target - cls.work, 0.0);
       complete_flow(flow, TransferStatus::kFailed);
     }
+    cls.heap.clear();
+    deactivate_class(slot);
   }
-  recompute_rates();
+  // The failure bumped the invalidation version: rebuild and re-solve the
+  // survivors globally (their constraint vectors may now differ).
+  if (!active_classes_.empty()) full_solve();
 }
 
 void Network::restore_node(NodeId node) {
@@ -328,8 +579,7 @@ void Network::restore_node(NodeId node) {
 }
 
 NodeTraffic Network::traffic(NodeId node) const {
-  const auto it = traffic_.find(node);
-  return it == traffic_.end() ? NodeTraffic{} : it->second;
+  return node < traffic_.size() ? traffic_[node] : NodeTraffic{};
 }
 
 }  // namespace frieda::net

@@ -1,19 +1,24 @@
 // Flow-level network simulation with max-min fair bandwidth sharing.
 //
-// A transfer is a fluid flow from a source node to a destination node.  At
-// every flow arrival/departure the rates of all active flows are recomputed
-// with the max-min fair solver and the single next-completion event is
-// rescheduled.  This models TCP-like sharing of the paper's 100 Mbps
-// provisioned links without per-packet simulation, which is exactly the
-// granularity the evaluation observes (whole-file scp durations).
+// A transfer is a fluid flow from a source node to a destination node.
+// Flows with the same (src, dst) endpoints traverse exactly the same
+// resources, so they are coalesced into one weighted flow class and the
+// max-min solver runs over O(distinct classes) instead of O(flows).  This
+// models TCP-like sharing of the paper's 100 Mbps provisioned links without
+// per-packet simulation, which is exactly the granularity the evaluation
+// observes (whole-file scp durations).
 //
-// Fast path: flows with the same (src, dst) endpoints traverse exactly the
-// same resources, so they are coalesced into one weighted flow class and the
-// solver runs over O(distinct classes) instead of O(flows) (see
-// docs/performance.md).  Each class's constraint vector is computed once and
-// cached against a monotonically increasing invalidation version (topology
-// mutations + node failure/restore events); the capacity/constraint buffers
-// are reused across recomputes instead of being rebuilt from scratch.
+// The allocation is maintained *incrementally* between events (see
+// docs/performance.md "Incremental re-solve and hierarchical topology").
+// Every class keeps its solved per-flow rate, a cumulative work accumulator
+// (bytes delivered per member flow, accrued lazily in O(1)), a min-heap of
+// member flows keyed by completion work target, and its own next-completion
+// event.  A flow arrival, departure or failure dirties only the connected
+// component of classes reachable from the changed class across shared
+// resources — max-min allocations decompose exactly over such components —
+// so untouched classes keep their rates and their scheduled completion
+// events without re-densification or re-solve.  Topology mutations and node
+// failure/restore bump an invalidation version that forces one full solve.
 //
 // Node failure support: fail_node() aborts every flow touching the node;
 // the awaiting process resumes with TransferStatus::kFailed, mirroring a
@@ -107,7 +112,7 @@ class Network {
   bool node_failed(NodeId node) const { return failed_nodes_.count(node) > 0; }
 
   /// Number of flows currently in the fluid model.
-  std::size_t active_flows() const { return flows_.size(); }
+  std::size_t active_flows() const { return live_flows_; }
 
   /// Number of distinct flow classes the solver currently runs over (streams
   /// and transfers sharing a (src, dst) pair coalesce into one class).
@@ -134,44 +139,80 @@ class Network {
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Attach a metrics registry; the network's counters (net.solver_invocations,
-  /// net.flows_coalesced, net.bytes_moved, net.transfers, net.transfers_failed)
-  /// are resolved once here and incremented by cached pointer afterwards.
+  /// net.solver_full_solves, net.solver_dirty_classes, net.flows_coalesced,
+  /// net.bytes_moved, net.transfers, net.transfers_failed) are resolved once
+  /// here and incremented by cached pointer afterwards.
   void set_metrics(obs::MetricsRegistry* registry);
 
-  /// Fluid-solver invocations so far (rate recomputes over active flows).
+  /// Fluid-solver invocations so far (component re-solves + full solves).
   std::uint64_t solver_invocations() const { return solves_; }
+
+  /// Solves that rebuilt everything (invalidation: topology mutation or node
+  /// failure/restore).  solves() - full_solves() is the incremental hit count.
+  std::uint64_t solver_full_solves() const { return full_solves_; }
+
+  /// Total classes re-solved across all solves (the dirty-set sizes); the
+  /// average dirty set is this over solver_invocations().
+  std::uint64_t solver_dirty_classes() const { return dirty_classes_total_; }
+
+  /// Test hook: after every incremental solve, run a fresh full solve on the
+  /// side and check every active class's stored rate against it (throws
+  /// FriedaError on divergence).  Off by default; costs a full solve per event.
+  void set_differential_check(bool on) { differential_check_ = on; }
 
  private:
   struct Flow {
-    NodeId src = 0;
-    NodeId dst = 0;
     Bytes requested = 0;
-    double remaining = 0.0;  // fractional bytes in the fluid model
-    Bandwidth rate = 0.0;
-    SimTime started = 0.0;
-    std::uint32_t class_slot = 0;  // index into classes_
+    double target = 0.0;     ///< class work level at which this flow drains
+    double remaining = 0.0;  ///< set at terminal time (partial bytes of failures)
+    std::uint64_t seq = 0;   ///< global arrival sequence (heap tie-break)
+    std::uint32_t class_slot = 0;
     TransferStatus status = TransferStatus::kCompleted;
     bool done = false;
     std::unique_ptr<sim::Signal> signal;
   };
   using FlowPtr = std::shared_ptr<Flow>;
 
-  /// One coalesced (src, dst) flow class with its cached constraint vector.
+  /// One coalesced (src, dst) flow class: cached constraint vector plus the
+  /// persistent fluid state the incremental solver maintains between events.
   struct FlowClass {
     NodeId src = 0;
     NodeId dst = 0;
-    std::vector<std::size_t> resources;  ///< persistent resource ids
-    std::uint64_t cached_version = 0;    ///< invalidation stamp for `resources`
+    std::vector<std::size_t> resources;   ///< persistent resource ids
+    std::vector<std::uint32_t> user_pos;  ///< our slot in resource_users_[pid]
+    std::uint64_t cached_version = 0;     ///< invalidation stamp for `resources`
     bool cached = false;
-    // Per-solve state (valid when epoch == solve_epoch_).
-    std::uint64_t epoch = 0;
-    std::uint64_t live = 0;   ///< live flows in this class this solve
-    std::uint32_t order = 0;  ///< dense class index this solve
+    bool active = false;    ///< has live flows (member of active_classes_)
+    bool attached = false;  ///< registered in resource_users_
+    std::uint32_t active_index = 0;  ///< position in active_classes_
+    // Fluid state (valid while active).
+    Bandwidth rate = 0.0;    ///< solved per-flow rate
+    double work = 0.0;       ///< cumulative bytes delivered per member flow
+    SimTime work_time = 0.0; ///< instant `work` was last accrued to
+    std::vector<FlowPtr> heap;  ///< min-heap of members by (target, seq)
+    sim::EventQueue::Handle completion;  ///< this class's next-drain event
+    SimTime completion_time = 0.0;       ///< absolute time of that event
+    // Per-solve scratch.
+    std::uint64_t visit_epoch = 0;  ///< BFS stamp (dirty-set collection)
+    std::uint32_t comp_index = 0;   ///< dense index within the current solve
   };
 
-  void advance_flows();    // progress remaining bytes to sim.now()
-  void recompute_rates();  // solve max-min and reschedule completion event
+  void accrue(FlowClass& cls);  // advance `work` to sim.now() at the old rate
+  void activate_class(std::uint32_t slot);
+  void deactivate_class(std::uint32_t slot);
+  void attach_class(std::uint32_t slot);
+  void detach_class(std::uint32_t slot);
+  /// Re-solve after a change seeded at `seed_slot`: full solve when the
+  /// invalidation version moved, else the seed's connected component only.
+  void resolve(std::uint32_t seed_slot);
+  void full_solve();
+  void collect_component(std::uint32_t seed_slot);  // BFS into component_
+  /// Shared solve tail over component_: accrue, drain, solve, reschedule.
+  void solve_component(bool full);
+  void update_completion(std::uint32_t slot);
+  void on_class_completion(std::uint32_t slot);
   void complete_flow(const FlowPtr& flow, TransferStatus status);
+  void run_differential_check();
   /// Close out a transfer on any exit path; `solves_at_start` dates the
   /// transfer's entry for the trace span's recompute count.
   void finish_transfer(NodeId src, NodeId dst, TransferResult& result,
@@ -191,42 +232,49 @@ class Network {
   SimTime latency_;
   Bandwidth loopback_;
 
-  std::vector<FlowPtr> flows_;
-  SimTime last_advance_ = 0.0;
-  sim::EventQueue::Handle completion_event_;
   std::unordered_set<NodeId> failed_nodes_;
   std::uint64_t failure_version_ = 0;
+  std::uint64_t next_flow_seq_ = 0;
+  std::size_t live_flows_ = 0;
 
   // ---- flow-class registry ----
   std::vector<FlowClass> classes_;
   std::unordered_map<std::uint64_t, std::uint32_t> class_of_pair_;  // packed (src,dst)
+  std::vector<std::uint32_t> active_classes_;  ///< slots of classes with flows
   std::uint64_t solve_epoch_ = 0;
 
   // ---- persistent resource registry (rebuilt on invalidation) ----
   std::unordered_map<std::uint64_t, std::size_t> resource_ids_;
   std::vector<Bandwidth> resource_caps_;
+  std::vector<std::vector<std::uint32_t>> resource_users_;  ///< active classes per pid
   std::uint64_t resources_version_ = 0;
   bool resources_valid_ = false;
 
   // ---- reusable solver buffers ----
-  std::vector<std::uint32_t> active_classes_;   ///< class slots, first-flow order
+  std::vector<std::uint32_t> component_;        ///< dirty set (class slots)
+  std::vector<FlowPtr> drained_;                ///< flows completing this solve
   std::vector<std::size_t> resource_dense_;     ///< persistent id -> dense index
-  std::vector<std::uint64_t> resource_epoch_;   ///< stamp for resource_dense_
+  std::vector<std::uint64_t> resource_epoch_;   ///< stamp for BFS / densify
   std::vector<Bandwidth> dense_caps_;           ///< solver capacities
   std::vector<WeightedFlowConstraints> solver_classes_;  ///< grow-only
   std::vector<Bandwidth> class_rates_;
   FairshareScratch fair_scratch_;
 
-  std::unordered_map<NodeId, NodeTraffic> traffic_;
+  std::vector<NodeTraffic> traffic_;  ///< indexed by node id (dense hot path)
   Bytes total_bytes_moved_ = 0;
   std::uint64_t transfers_started_ = 0;
-  std::uint64_t solves_ = 0;  ///< fluid-solver invocations (always counted)
+  std::uint64_t solves_ = 0;        ///< fluid-solver invocations (always counted)
+  std::uint64_t full_solves_ = 0;   ///< invalidation-forced global solves
+  std::uint64_t dirty_classes_total_ = 0;  ///< sum of per-solve dirty-set sizes
+  bool differential_check_ = false;
   std::function<void(NodeId, NodeId, const TransferResult&)> observer_;
 
   // ---- observability taps (null = disabled; see docs/observability.md) ----
   obs::Tracer* tracer_ = nullptr;
   struct {
     obs::Counter* solver_invocations = nullptr;
+    obs::Counter* solver_full_solves = nullptr;
+    obs::Counter* solver_dirty_classes = nullptr;
     obs::Counter* flows_coalesced = nullptr;
     obs::Counter* bytes_moved = nullptr;
     obs::Counter* transfers = nullptr;

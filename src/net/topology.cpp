@@ -52,6 +52,37 @@ Bandwidth Topology::pair_limit(NodeId src, NodeId dst) const {
   return it->second;
 }
 
+void Topology::set_rack(NodeId id, RackId rack) {
+  check(id);
+  nodes_[id].rack = rack;
+  ++version_;
+}
+
+RackId Topology::rack(NodeId id) const {
+  check(id);
+  return nodes_[id].rack;
+}
+
+void Topology::set_rack_uplink(RackId rack, Bandwidth cap) {
+  FRIEDA_CHECK(rack != kNoRack, "cannot configure an uplink for kNoRack");
+  FRIEDA_CHECK(cap > 0, "rack uplink capacity must be positive");
+  if (rack >= rack_uplinks_.size()) {
+    rack_uplinks_.resize(rack + 1, std::numeric_limits<Bandwidth>::infinity());
+  }
+  if (rack_uplinks_[rack] == std::numeric_limits<Bandwidth>::infinity()) {
+    ++rack_uplinks_configured_;
+  }
+  rack_uplinks_[rack] = cap;
+  ++version_;
+}
+
+Bandwidth Topology::rack_uplink(RackId rack) const {
+  if (rack == kNoRack || rack >= rack_uplinks_.size()) {
+    return std::numeric_limits<Bandwidth>::infinity();
+  }
+  return rack_uplinks_[rack];
+}
+
 void Topology::set_site(NodeId id, SiteId site) {
   check(id);
   nodes_[id].site = site;

@@ -273,6 +273,16 @@ TraceAnalysis TraceAnalyzer::analyze(const std::vector<TraceEvent>& events) {
         out.anchored = true;
         out.run_start = ev.start;
         out.run_end = ev.end;
+        if (const auto* s = find_arg(ev, "net_solves")) {
+          out.solver_stats = true;
+          out.net_solves = std::strtoull(s->value.c_str(), nullptr, 10);
+          if (const auto* f = find_arg(ev, "net_full_solves")) {
+            out.net_full_solves = std::strtoull(f->value.c_str(), nullptr, 10);
+          }
+          if (const auto* d = find_arg(ev, "net_dirty_classes")) {
+            out.net_dirty_classes = std::strtoull(d->value.c_str(), nullptr, 10);
+          }
+        }
       }
       if (ev.process == kWorkerTrack && (ev.cat == "exec" || ev.cat == "staging")) {
         worker_ids.insert(ev.track);
@@ -356,6 +366,12 @@ std::string render_report(const TraceAnalysis& a, std::size_t max_path_rows) {
   if (a.truncated()) {
     os << "  WARNING: trace truncated — " << a.dropped_events
        << " events dropped at the tracer's cap; times below undercount\n";
+  }
+  if (a.solver_stats && a.net_solves > 0) {
+    os << "Network solver: " << a.net_solves << " solves ("
+       << fmt("%.1f", 100.0 * a.incremental_share()) << "% incremental, "
+       << a.net_full_solves << " full, avg dirty set "
+       << fmt("%.1f", a.avg_dirty_classes()) << " classes)\n";
   }
 
   const double ws = a.worker_seconds();

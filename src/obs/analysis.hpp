@@ -111,6 +111,23 @@ struct TraceAnalysis {
   std::uint64_t dropped_events = 0;  ///< from a trace-truncated marker, if any
   bool truncated() const { return dropped_events > 0; }
 
+  // Network solver activity over the run window, from the anchor span's
+  // net_solves / net_full_solves / net_dirty_classes args (emitted by
+  // FriedaRun since the incremental max-min solver landed).  `solver_stats`
+  // is false for traces recorded before those args existed.
+  bool solver_stats = false;
+  std::uint64_t net_solves = 0;         ///< solver invocations (any kind)
+  std::uint64_t net_full_solves = 0;    ///< from-scratch rebuild solves
+  std::uint64_t net_dirty_classes = 0;  ///< sum of dirty component sizes
+  double incremental_share() const {
+    return net_solves > 0
+               ? static_cast<double>(net_solves - net_full_solves) / net_solves
+               : 0.0;
+  }
+  double avg_dirty_classes() const {
+    return net_solves > 0 ? static_cast<double>(net_dirty_classes) / net_solves : 0.0;
+  }
+
   // Critical path, chronological.  The segments tile [run_start, run_end]:
   // their durations sum to makespan() up to float tolerance.
   std::vector<PathSegment> critical_path;

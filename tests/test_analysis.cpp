@@ -287,6 +287,29 @@ TEST(Analysis, TruncatedTraceIsFlaggedInAnalysisAndReport) {
   EXPECT_EQ(loaded.dropped_events, tracer.dropped_events());
 }
 
+TEST(Analysis, SolverStatsParseFromTheAnchorSpan) {
+  auto events = two_worker_trace();
+  events[0].args = {{"net_solves", "40"},
+                    {"net_full_solves", "4"},
+                    {"net_dirty_classes", "120"}};
+  const auto a = TraceAnalyzer::analyze(events);
+  ASSERT_TRUE(a.solver_stats);
+  EXPECT_EQ(a.net_solves, 40u);
+  EXPECT_EQ(a.net_full_solves, 4u);
+  EXPECT_EQ(a.net_dirty_classes, 120u);
+  EXPECT_DOUBLE_EQ(a.incremental_share(), 0.9);
+  EXPECT_DOUBLE_EQ(a.avg_dirty_classes(), 3.0);
+
+  const auto report = render_report(a);
+  EXPECT_NE(report.find("Network solver: 40 solves"), std::string::npos);
+  EXPECT_NE(report.find("90.0% incremental"), std::string::npos);
+
+  // Traces recorded before the solver args existed analyze fine without them.
+  const auto legacy = TraceAnalyzer::analyze(two_worker_trace());
+  EXPECT_FALSE(legacy.solver_stats);
+  EXPECT_EQ(render_report(legacy).find("Network solver"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Real traced fig6a run: the acceptance invariants
 // ---------------------------------------------------------------------------
@@ -303,6 +326,13 @@ TEST(Analysis, TracedFig6aPathTilesMakespanAndAttributionSumsToWorkerSeconds) {
   ASSERT_TRUE(a.anchored);
   // The anchor span carries the reported run window verbatim.
   EXPECT_NEAR(a.makespan(), report.makespan(), 1e-9);
+
+  // FriedaRun stamps solver activity on the anchor: a real-time ALS run
+  // moves data, so the solver ran and most solves were incremental.
+  ASSERT_TRUE(a.solver_stats);
+  EXPECT_GT(a.net_solves, 0u);
+  EXPECT_GE(a.net_solves, a.net_full_solves);
+  EXPECT_GE(a.net_dirty_classes, a.net_solves - a.net_full_solves);
 
   // Critical path tiles the window.
   EXPECT_NEAR(a.critical_path_seconds(), a.makespan(), 1e-6 * std::max(1.0, a.makespan()));

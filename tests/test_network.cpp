@@ -331,5 +331,102 @@ TEST(Network, ManyConcurrentFlowsConserveBytes) {
   EXPECT_NEAR(sim.now(), 9.6, 1e-6);
 }
 
+TEST(Topology, RackAssignmentAndUplinks) {
+  Topology t;
+  const auto a = t.add_node("a", gbps(1), gbps(1));
+  const auto b = t.add_node("b", gbps(1), gbps(1));
+  EXPECT_EQ(t.rack(a), kNoRack);
+  EXPECT_FALSE(t.has_rack_uplinks());
+  EXPECT_TRUE(std::isinf(t.rack_uplink(kNoRack)));
+  const auto before = t.version();
+  t.set_rack(a, 0);
+  t.set_rack(b, 1);
+  t.set_rack_uplink(0, mbps(500));
+  EXPECT_GT(t.version(), before);  // rack changes invalidate cached classes
+  EXPECT_EQ(t.rack(a), 0u);
+  EXPECT_TRUE(t.has_rack_uplinks());
+  EXPECT_DOUBLE_EQ(t.rack_uplink(0), mbps(500));
+  EXPECT_TRUE(std::isinf(t.rack_uplink(1)));  // assigned but uncapped
+  EXPECT_THROW(t.set_rack_uplink(kNoRack, mbps(1)), FriedaError);
+  EXPECT_THROW(t.set_rack_uplink(0, 0.0), FriedaError);
+}
+
+TEST(Network, RackUplinkSharedByCrossRackFlows) {
+  // Two nodes in rack 0 send to two nodes in rack 1.  NICs are fat; each
+  // flow crosses both 100 Mbps uplinks, so the pair of flows shares one
+  // uplink's capacity: 12.5 MB total at 6.25 MB/s each = 10 s.
+  Topology t = star(4, gbps(1));
+  t.set_rack(0, 0);
+  t.set_rack(1, 0);
+  t.set_rack(2, 1);
+  t.set_rack(3, 1);
+  t.set_rack_uplink(0, mbps(100));
+  t.set_rack_uplink(1, mbps(100));
+  sim::Simulation sim;
+  Network netw(sim, std::move(t), 0.0);
+  std::vector<TransferResult> results(2);
+  for (int i = 0; i < 2; ++i) {
+    sim.spawn([](Network& n, TransferResult& out, NodeId src, NodeId dst) -> sim::Task<> {
+      out = co_await n.transfer(src, dst, Bytes(62.5 * MB));
+    }(netw, results[i], NodeId(i), NodeId(2 + i)));
+  }
+  sim.run();
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.ok());
+    EXPECT_NEAR(r.duration(), 10.0, 1e-6);
+  }
+}
+
+TEST(Network, IntraRackFlowBypassesUplink) {
+  Topology t = star(3, mbps(100));
+  t.set_rack(0, 0);
+  t.set_rack(1, 0);
+  t.set_rack(2, 1);  // unrelated rack so has_rack_uplinks() is on
+  t.set_rack_uplink(0, mbps(10));  // would be the bottleneck if traversed
+  sim::Simulation sim;
+  Network netw(sim, std::move(t), 0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB);
+  }(netw, result));
+  sim.run();
+  // Full NIC rate: the top-of-rack uplink only carries traffic leaving the
+  // rack, so the narrow 10 Mbps trunk must not throttle this flow.
+  EXPECT_NEAR(result.duration(), 10.0, 1e-6);
+}
+
+TEST(Network, UnrackedEndpointTraversesOnlyTheRackedSide) {
+  Topology t = star(2, gbps(1));
+  t.set_rack(1, 0);
+  t.set_rack_uplink(0, mbps(100));
+  sim::Simulation sim;
+  Network netw(sim, std::move(t), 0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    out = co_await n.transfer(0, 1, 125 * MB);  // core switch -> rack 0
+  }(netw, result));
+  sim.run();
+  EXPECT_TRUE(result.ok());
+  EXPECT_NEAR(result.duration(), 10.0, 1e-6);  // bottleneck is the uplink
+}
+
+TEST(Network, FailedTransferNeverReportsMoreThanRequested) {
+  // Abort a tiny fast flow inside the kMinTimeStep scheduling window: the
+  // fluid model has overshot the target bytes by then, and the partial-bytes
+  // accounting must clamp to the requested size instead of rounding above it.
+  sim::Simulation sim;
+  Network netw(sim, star(2, gbps(10)), 0.0);
+  TransferResult result;
+  sim.spawn([](Network& n, TransferResult& out) -> sim::Task<> {
+    // 1 byte at 10 Gbps drains in 0.8 ns; its completion event is clamped to
+    // the 1 ns minimum step, leaving a window where work exceeds the target.
+    out = co_await n.transfer(0, 1, 1);
+  }(netw, result));
+  sim.schedule_at(9e-10, [&] { netw.fail_node(1); });
+  sim.run();
+  EXPECT_EQ(result.status, TransferStatus::kFailed);
+  EXPECT_LE(result.transferred, result.requested);
+}
+
 }  // namespace
 }  // namespace frieda::net

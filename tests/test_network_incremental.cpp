@@ -1,0 +1,216 @@
+// Differential and determinism coverage for the incremental max-min solver.
+//
+// The incremental path maintains the solved allocation between events and
+// re-solves only the dirty connected component (see src/net/network.hpp).
+// These tests drive randomized churn — arrivals, natural departures, node
+// failures and restores — with Network::set_differential_check() enabled,
+// which re-solves the whole system from scratch after every incremental
+// solve and throws if any active class's stored rate diverges.  A second
+// suite checks that large runs are bit-deterministic across repetitions.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "net/topology.hpp"
+#include "sim/simulation.hpp"
+
+namespace frieda::net {
+namespace {
+
+Topology star(std::size_t nodes, Bandwidth nic) {
+  Topology t;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    t.add_node("n" + std::to_string(i), nic, nic);
+  }
+  return t;
+}
+
+// Rack/site/backbone-rich topology so dirty components have real structure:
+// some classes share uplinks, some only the backbone, some nothing at all.
+Topology hierarchical(std::size_t racks, std::size_t per_rack) {
+  Topology t;
+  for (std::size_t r = 0; r < racks; ++r) {
+    for (std::size_t i = 0; i < per_rack; ++i) {
+      const auto id = t.add_node("r" + std::to_string(r) + "n" + std::to_string(i),
+                                 gbps(1), gbps(1));
+      t.set_rack(id, static_cast<RackId>(r));
+    }
+    t.set_rack_uplink(static_cast<RackId>(r), gbps(4));
+  }
+  return t;
+}
+
+struct ChurnStats {
+  std::size_t started = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  Bytes bytes = 0;
+};
+
+// Spawns `events` transfers over random pairs with random sizes/streams and
+// sprinkles fail/restore cycles over a few victim nodes.  With the
+// differential check on, every incremental solve is audited against a fresh
+// full solve, so simply surviving the run is the assertion.
+ChurnStats run_churn(Topology topo, std::uint64_t seed, std::size_t events,
+                     bool with_failures, bool differential) {
+  sim::Simulation sim(seed);
+  const auto nodes = topo.node_count();
+  Network netw(sim, std::move(topo), /*latency=*/1e-4);
+  netw.set_differential_check(differential);
+  ChurnStats stats;
+  Rng rng(seed);
+  for (std::size_t e = 0; e < events; ++e) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, nodes - 1));
+    auto dst = static_cast<NodeId>(rng.uniform_int(0, nodes - 1));
+    if (rng.uniform() < 0.9 && dst == src) dst = (src + 1) % nodes;  // mostly distinct
+    const Bytes bytes = static_cast<Bytes>(rng.uniform_int(1, 8 * MB));
+    const auto streams = static_cast<unsigned>(rng.uniform_int(1, 4));
+    const SimTime at = rng.uniform(0.0, 5.0);
+    sim.schedule_at(at, [&, src, dst, bytes, streams] {
+      sim.spawn([](Network& n, ChurnStats& st, NodeId s, NodeId d, Bytes b,
+                   unsigned k) -> sim::Task<> {
+        ++st.started;
+        const auto r = co_await n.transfer(s, d, b, k);
+        r.ok() ? ++st.completed : ++st.failed;
+        st.bytes += r.transferred;
+      }(netw, stats, src, dst, bytes, streams));
+    });
+  }
+  if (with_failures) {
+    for (int v = 0; v < 4; ++v) {
+      const auto victim = static_cast<NodeId>(rng.uniform_int(0, nodes - 1));
+      const SimTime down = rng.uniform(0.5, 4.0);
+      sim.schedule_at(down, [&, victim] { netw.fail_node(victim); });
+      sim.schedule_at(down + rng.uniform(0.1, 1.0),
+                      [&, victim] { netw.restore_node(victim); });
+    }
+  }
+  sim.run();
+  EXPECT_EQ(stats.started, events);
+  EXPECT_EQ(stats.completed + stats.failed, events);
+  EXPECT_EQ(netw.active_flows(), 0u);
+  EXPECT_EQ(netw.active_flow_classes(), 0u);
+  return stats;
+}
+
+TEST(NetworkIncremental, DifferentialChurnOnStar) {
+  // Dense star: most classes share the handful of NICs, so dirty components
+  // are large and exercise multi-class BFS + drain sweeps.
+  const auto stats = run_churn(star(8, mbps(500)), 17, 1000, /*with_failures=*/false,
+                               /*differential=*/true);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(NetworkIncremental, DifferentialChurnWithFailures) {
+  // Failures force full solves (invalidation) between incremental runs and
+  // abort in-flight flows with partial byte accounting.
+  const auto stats = run_churn(star(8, mbps(500)), 23, 1000, /*with_failures=*/true,
+                               /*differential=*/true);
+  EXPECT_GT(stats.completed, 0u);
+}
+
+TEST(NetworkIncremental, DifferentialChurnOnHierarchy) {
+  // Racked topology: intra-rack classes form small isolated components,
+  // cross-rack classes couple racks through shared uplinks.
+  const auto stats = run_churn(hierarchical(6, 4), 31, 1000, /*with_failures=*/true,
+                               /*differential=*/true);
+  EXPECT_GT(stats.completed, 0u);
+}
+
+TEST(NetworkIncremental, PartialBytesStayClamped) {
+  // Every failed transfer must report transferred <= requested even under
+  // fluid-model overshoot (the kMinTimeStep clamp window).
+  sim::Simulation sim;
+  Network netw(sim, star(6, gbps(10)), 0.0);
+  std::vector<TransferResult> results;
+  results.reserve(64);  // coroutines hold references into this vector
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const auto dst = static_cast<NodeId>(1 + rng.uniform_int(0, 4));
+    const Bytes bytes = static_cast<Bytes>(rng.uniform_int(1, 64));
+    results.emplace_back();
+    auto& out = results.back();
+    sim.spawn([](Network& n, TransferResult& r, NodeId d, Bytes b) -> sim::Task<> {
+      r = co_await n.transfer(0, d, b);
+    }(netw, out, dst, bytes));
+  }
+  sim.schedule_at(5e-10, [&] { netw.fail_node(0); });
+  sim.run();
+  for (const auto& r : results) EXPECT_LE(r.transferred, r.requested);
+}
+
+// One churn run's full observable outcome, for determinism comparison.
+struct RunFingerprint {
+  Bytes total_bytes = 0;
+  std::uint64_t solves = 0;
+  std::uint64_t full_solves = 0;
+  std::uint64_t dirty = 0;
+  double end_time = 0.0;
+
+  bool operator==(const RunFingerprint& o) const {
+    return total_bytes == o.total_bytes && solves == o.solves &&
+           full_solves == o.full_solves && dirty == o.dirty && end_time == o.end_time;
+  }
+};
+
+RunFingerprint big_run(std::size_t transfers) {
+  sim::Simulation sim(13);
+  Topology topo;
+  for (int i = 0; i < 8; ++i) topo.add_node("srv" + std::to_string(i), gbps(1), gbps(1));
+  for (int i = 0; i < 32; ++i) topo.add_node("w" + std::to_string(i), mbps(100), mbps(100));
+  Network netw(sim, std::move(topo), 1e-4);
+  Rng rng(13);
+  for (std::size_t i = 0; i < transfers; ++i) {
+    const auto src = static_cast<NodeId>(rng.uniform_int(0, 7));
+    const auto dst = static_cast<NodeId>(8 + rng.uniform_int(0, 31));
+    const Bytes bytes = static_cast<Bytes>(rng.uniform_int(64 * KB, MB));
+    const auto streams = static_cast<unsigned>(rng.uniform_int(1, 4));
+    sim.spawn([](Network& n, NodeId s, NodeId d, Bytes b, unsigned k) -> sim::Task<> {
+      (void)co_await n.transfer(s, d, b, k);
+    }(netw, src, dst, bytes, streams));
+  }
+  sim.run();
+  RunFingerprint fp;
+  fp.total_bytes = netw.total_bytes_moved();
+  fp.solves = netw.solver_invocations();
+  fp.full_solves = netw.solver_full_solves();
+  fp.dirty = netw.solver_dirty_classes();
+  fp.end_time = sim.now();
+  return fp;
+}
+
+TEST(NetworkIncremental, DeterministicAtSixteenThousandFlows) {
+  // ~4096 transfers x up to 4 streams = the 16384-flow tier of
+  // BM_NetworkManyFlows: two runs must agree bit-for-bit on every
+  // observable, including the solver's dirty-set accounting.
+  const auto a = big_run(4096);
+  const auto b = big_run(4096);
+  EXPECT_TRUE(a == b);
+  EXPECT_GT(a.solves, 0u);
+  EXPECT_GT(a.dirty, a.solves);  // components average more than one class
+}
+
+TEST(NetworkIncremental, SolverCountersExposeDirtySets) {
+  sim::Simulation sim;
+  Network netw(sim, star(4, mbps(100)), 0.0);
+  for (NodeId dst = 1; dst < 4; ++dst) {
+    sim.spawn([](Network& n, NodeId d) -> sim::Task<> {
+      (void)co_await n.transfer(0, d, 10 * MB);
+    }(netw, dst));
+  }
+  sim.run();
+  // First arrival is a cold registry (one full solve); everything after is
+  // incremental, and the three classes share node 0's egress so each solve
+  // dirties the whole component.
+  EXPECT_GT(netw.solver_invocations(), 0u);
+  EXPECT_EQ(netw.solver_full_solves(), 1u);
+  EXPECT_GE(netw.solver_dirty_classes(), netw.solver_invocations());
+}
+
+}  // namespace
+}  // namespace frieda::net
