@@ -47,16 +47,17 @@ void RunningStats::merge(const RunningStats& other) {
 
 void SampleSet::add(double x) {
   samples_.push_back(x);
-  dirty_ = true;
+  sorted_valid_ = false;
 }
 
 double SampleSet::percentile(double p) const {
   FRIEDA_CHECK(!samples_.empty(), "percentile of empty sample set");
   FRIEDA_CHECK(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
-  if (dirty_) {
+  std::lock_guard<std::mutex> lock(sort_mutex_);
+  if (!sorted_valid_) {
     sorted_ = samples_;
     std::sort(sorted_.begin(), sorted_.end());
-    dirty_ = false;
+    sorted_valid_ = true;
   }
   if (sorted_.size() == 1) return sorted_[0];
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
@@ -78,18 +79,19 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi),
 }
 
 void Histogram::add(double x) {
-  const double frac = (x - lo_) / (hi_ - lo_);
-  std::size_t i;
-  if (frac < 0.0) {
-    i = 0;
-  } else if (frac >= 1.0) {
-    i = counts_.size() - 1;
-  } else {
-    i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
-    i = std::min(i, counts_.size() - 1);
-  }
-  ++counts_[i];
   ++total_;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  if (frac < 0.0) {
+    ++underflow_;
+    return;
+  }
+  if (frac >= 1.0) {
+    ++overflow_;
+    return;
+  }
+  std::size_t i = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  i = std::min(i, counts_.size() - 1);
+  ++counts_[i];
 }
 
 std::size_t Histogram::bucket(std::size_t i) const {
@@ -110,6 +112,8 @@ std::string Histogram::ascii(std::size_t width) const {
        << (lo_ + bw * static_cast<double>(i + 1)) << ") " << std::string(bar, '#') << " "
        << counts_[i] << "\n";
   }
+  if (underflow_ > 0) os << "< " << lo_ << " (underflow) " << underflow_ << "\n";
+  if (overflow_ > 0) os << ">= " << hi_ << " (overflow) " << overflow_ << "\n";
   return os.str();
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,9 +52,39 @@ class RunningStats {
 };
 
 /// Collects raw samples and answers percentile queries (sorts lazily).
+///
+/// Thread contract: like a standard container, writers (`add`) require
+/// exclusive access — but any number of threads may call the const readers
+/// (`percentile`, `median`, `mean`, ...) concurrently.  The lazily sorted
+/// cache behind `percentile` is guarded by an internal mutex, so shared
+/// read-only sets (e.g. sweep threads reading a run's latency percentiles)
+/// are race-free.
 class SampleSet {
  public:
-  /// Add one sample.
+  SampleSet() = default;
+  SampleSet(const SampleSet& other) : samples_(other.samples_) {}
+  SampleSet& operator=(const SampleSet& other) {
+    if (this != &other) {
+      samples_ = other.samples_;
+      sorted_.clear();
+      sorted_valid_ = false;
+    }
+    return *this;
+  }
+  SampleSet(SampleSet&& other) noexcept
+      : samples_(std::move(other.samples_)),
+        sorted_(std::move(other.sorted_)),
+        sorted_valid_(other.sorted_valid_) {}
+  SampleSet& operator=(SampleSet&& other) noexcept {
+    if (this != &other) {
+      samples_ = std::move(other.samples_);
+      sorted_ = std::move(other.sorted_);
+      sorted_valid_ = other.sorted_valid_;
+    }
+    return *this;
+  }
+
+  /// Add one sample (exclusive access required, like vector::push_back).
   void add(double x);
 
   /// Number of samples.
@@ -62,7 +93,7 @@ class SampleSet {
   /// p in [0,100]; linearly interpolated percentile over the sorted samples
   /// (rank = p/100 * (n-1), fractional ranks interpolate between neighbors —
   /// numpy's default).  p=0 is the minimum, p=100 the maximum.  Throws on an
-  /// empty set.
+  /// empty set.  Safe to call from many threads concurrently.
   double percentile(double p) const;
 
   /// Median (50th percentile).
@@ -76,11 +107,18 @@ class SampleSet {
 
  private:
   std::vector<double> samples_;
+  // Sorted-view cache: built on the first percentile query after an add,
+  // under sort_mutex_ so concurrent const readers never race on it.
   mutable std::vector<double> sorted_;
-  mutable bool dirty_ = true;
+  mutable bool sorted_valid_ = false;
+  mutable std::mutex sort_mutex_;
 };
 
-/// Fixed-width histogram over [lo, hi); values outside clamp to edge bins.
+/// Fixed-width histogram over [lo, hi).  Values outside the range are NOT
+/// folded into the edge bins — they are tallied in separate underflow
+/// (x < lo) and overflow (x >= hi) counters, so outliers never distort the
+/// in-range distribution.  `total()` counts every observation, including
+/// the out-of-range ones.
 class Histogram {
  public:
   /// Construct with `bins` equal-width buckets over [lo, hi). Requires bins>0, hi>lo.
@@ -95,8 +133,17 @@ class Histogram {
   /// Number of buckets.
   std::size_t buckets() const { return counts_.size(); }
 
-  /// Total observations.
+  /// Total observations (in-range + underflow + overflow).
   std::size_t total() const { return total_; }
+
+  /// Observations below lo (not counted in any bucket).
+  std::size_t underflow() const { return underflow_; }
+
+  /// Observations at or above hi (not counted in any bucket).
+  std::size_t overflow() const { return overflow_; }
+
+  /// Observations that landed inside [lo, hi).
+  std::size_t in_range() const { return total_ - underflow_ - overflow_; }
 
   /// Render a compact ASCII bar chart (for bench diagnostics).
   std::string ascii(std::size_t width = 40) const;
@@ -105,6 +152,8 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace frieda

@@ -1,11 +1,57 @@
 #include "frieda/adaptive.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 
 namespace frieda::core {
+
+namespace {
+
+// History lines are '|'-delimited; app names may contain the delimiter (or a
+// backslash, or a newline), so the app field is escaped on write and decoded
+// on read.  The remaining fields are machine-generated and never need it.
+std::string escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\|"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// Split on unescaped '|' and decode escapes in place.  Returns nullopt when
+// the line ends mid-escape (truncated) or uses an unknown escape sequence.
+std::optional<std::vector<std::string>> split_escaped(const std::string& line) {
+  std::vector<std::string> parts(1);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return std::nullopt;
+      const char next = line[++i];
+      switch (next) {
+        case '\\': parts.back() += '\\'; break;
+        case '|': parts.back() += '|'; break;
+        case 'n': parts.back() += '\n'; break;
+        default: return std::nullopt;
+      }
+    } else if (c == '|') {
+      parts.emplace_back();
+    } else {
+      parts.back() += c;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
 
 void ExecutionHistory::record(const RunReport& report) {
   const auto strategy = parse_placement_strategy(report.strategy);
@@ -45,7 +91,7 @@ std::string ExecutionHistory::serialize() const {
   for (const auto& [key, value] : stats_) {
     // count observations are compressed to (count x mean); adequate for the
     // selector, which only consults means.
-    os << key.first << "|" << to_string(key.second) << "|" << value.count() << "|"
+    os << escape_field(key.first) << "|" << to_string(key.second) << "|" << value.count() << "|"
        << value.mean() << "\n";
   }
   return os.str();
@@ -57,14 +103,16 @@ ExecutionHistory ExecutionHistory::deserialize(const std::string& text) {
   std::string line;
   while (std::getline(in, line)) {
     if (strutil::trim(line).empty()) continue;
-    const auto parts = strutil::split(line, '|');
-    FRIEDA_CHECK(parts.size() == 4, "malformed history line '" << line << "'");
-    const auto strategy = parse_placement_strategy(parts[1]);
-    FRIEDA_CHECK(strategy.has_value(), "unknown strategy in history: '" << parts[1] << "'");
-    const auto count = strutil::to_int(parts[2]);
-    const auto mean = strutil::to_double(parts[3]);
-    FRIEDA_CHECK(count && *count >= 0 && mean, "malformed history line '" << line << "'");
-    for (std::int64_t i = 0; i < *count; ++i) history.record(parts[0], *strategy, *mean);
+    const auto parts = split_escaped(line);
+    FRIEDA_CHECK(parts && parts->size() == 4, "malformed history line '" << line << "'");
+    const auto& fields = *parts;
+    const auto strategy = parse_placement_strategy(fields[1]);
+    FRIEDA_CHECK(strategy.has_value(), "unknown strategy in history: '" << fields[1] << "'");
+    const auto count = strutil::to_int(fields[2]);
+    const auto mean = strutil::to_double(fields[3]);
+    FRIEDA_CHECK(count && *count >= 0 && mean && std::isfinite(*mean) && *mean >= 0.0,
+                 "malformed history line '" << line << "'");
+    for (std::int64_t i = 0; i < *count; ++i) history.record(fields[0], *strategy, *mean);
   }
   return history;
 }

@@ -33,17 +33,31 @@ std::string RunReport::summary() const {
   os << "  bytes moved        " << strutil::human_bytes(bytes_moved) << " in " << transfers
      << " transfers\n";
   os << "  workers            " << workers.size() << " (" << workers_isolated << " isolated)\n";
+  if (open_loop) {
+    os << "  service latency    ";
+    if (latency.count() > 0) {
+      os << "p50=" << strutil::human_seconds(latency_p(50.0))
+         << " p95=" << strutil::human_seconds(latency_p(95.0))
+         << " p99=" << strutil::human_seconds(latency_p(99.0)) << "\n";
+    } else {
+      os << "(no completions)\n";
+    }
+    os << "  sustained tput     " << TextTable::num(sustained_throughput(), 3)
+       << " units/s over " << strutil::human_seconds(end_time - serve_start) << "\n";
+    os << "  elasticity         " << scale_outs << " scale-outs, " << scale_ins
+       << " scale-ins\n";
+  }
   return os.str();
 }
 
 std::string RunReport::units_csv() const {
-  CsvWriter csv({"unit", "status", "worker", "attempts", "dispatched", "finished",
+  CsvWriter csv({"unit", "status", "worker", "attempts", "arrival", "dispatched", "finished",
                  "transfer_s", "exec_s"});
   for (const auto& rec : units) {
     csv.add_row({std::to_string(rec.unit), to_string(rec.status),
                  std::to_string(rec.worker), std::to_string(rec.attempts),
-                 TextTable::num(rec.dispatched, 4), TextTable::num(rec.finished, 4),
-                 TextTable::num(rec.transfer_seconds, 4),
+                 TextTable::num(rec.arrival, 4), TextTable::num(rec.dispatched, 4),
+                 TextTable::num(rec.finished, 4), TextTable::num(rec.transfer_seconds, 4),
                  TextTable::num(rec.exec_seconds, 4)});
   }
   return csv.to_string();
@@ -80,6 +94,16 @@ void RunReport::fill_metrics(obs::MetricsRegistry& registry) const {
     attempts.add(rec.attempts);
     transfer.add(rec.transfer_seconds);
     exec.add(rec.exec_seconds);
+  }
+  if (open_loop) {
+    registry.gauge("run.sustained_throughput").set(sustained_throughput());
+    registry.gauge("run.scale_outs").set(static_cast<double>(scale_outs));
+    registry.gauge("run.scale_ins").set(static_cast<double>(scale_ins));
+    if (latency.count() > 0) {
+      registry.gauge("run.latency_p50_s").set(latency_p(50.0));
+      registry.gauge("run.latency_p95_s").set(latency_p(95.0));
+      registry.gauge("run.latency_p99_s").set(latency_p(99.0));
+    }
   }
 }
 

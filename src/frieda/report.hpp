@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/timeline.hpp"
 #include "common/units.hpp"
 #include "frieda/types.hpp"
@@ -38,6 +39,8 @@ struct UnitRecord {
   UnitStatus status = UnitStatus::kPending;
   WorkerId worker = 0;              ///< last worker it was dispatched to
   int attempts = 0;                 ///< dispatch attempts
+  SimTime arrival = 0.0;            ///< open-loop: when the unit entered the
+                                    ///< queue (0 for closed-batch runs)
   SimTime dispatched = 0.0;         ///< last dispatch time
   SimTime finished = 0.0;           ///< terminal time
   SimTime transfer_seconds = 0.0;   ///< input staging time for this unit
@@ -75,6 +78,13 @@ struct RunReport {
   std::size_t transfers = 0;    ///< network transfers during the run
   std::size_t workers_isolated = 0;
 
+  // Open-loop service mode (empty/zero for closed-batch runs).
+  bool open_loop = false;       ///< units were injected by an arrival process
+  SimTime serve_start = 0.0;    ///< when serving (and the arrival clock) began
+  SampleSet latency;            ///< per-unit sojourn (arrival -> completion)
+  std::size_t scale_outs = 0;   ///< VMs added by the elasticity policy
+  std::size_t scale_ins = 0;    ///< VMs drained and released by the policy
+
   std::vector<UnitRecord> units;
   std::vector<WorkerReport> workers;
   Timeline timeline;
@@ -100,11 +110,23 @@ struct RunReport {
   /// True when every unit completed.
   bool all_completed() const { return units_completed == units_total; }
 
+  /// Open-loop: the p-th sojourn-latency percentile over completed units
+  /// (seconds from arrival to completion).  Requires at least one completion.
+  SimTime latency_p(double p) const { return latency.percentile(p); }
+
+  /// Open-loop: completions per second over the serving window.  0 for
+  /// closed-batch runs or degenerate windows.
+  double sustained_throughput() const {
+    const SimTime window = end_time - serve_start;
+    if (!open_loop || window <= 0.0) return 0.0;
+    return static_cast<double>(units_completed) / window;
+  }
+
   /// Multi-line human-readable summary.
   std::string summary() const;
 
   /// Per-unit records as CSV text (for Gantt-style plotting):
-  /// unit,status,worker,attempts,dispatched,finished,transfer_s,exec_s.
+  /// unit,status,worker,attempts,arrival,dispatched,finished,transfer_s,exec_s.
   std::string units_csv() const;
 
   /// Per-worker summary as CSV text:

@@ -35,6 +35,29 @@ FriedaRun::FriedaRun(cluster::VirtualCluster& cluster, const storage::FileCatalo
     unit_state_[i].unit = units_[i].id;
   }
 
+  if (open_loop()) {
+    FRIEDA_CHECK(options_.arrivals.size() == units_.size(),
+                 "open-loop mode needs one arrival offset per unit ("
+                     << options_.arrivals.size() << " offsets for " << units_.size()
+                     << " units)");
+    FRIEDA_CHECK(options_.strategy == PlacementStrategy::kRealTime || streams_inputs(),
+                 "open-loop mode requires a queue-fed strategy "
+                 "(real-time, remote-read, or shared-volume)");
+    SimTime prev = 0.0;
+    for (const auto t : options_.arrivals) {
+      FRIEDA_CHECK(t >= prev, "arrival offsets must be ascending and >= 0");
+      prev = t;
+    }
+  }
+  const auto& ep = options_.elastic_policy;
+  if (ep.enabled) {
+    FRIEDA_CHECK(open_loop(), "the elasticity policy needs open-loop arrivals");
+    FRIEDA_CHECK(ep.scale_in_depth < ep.scale_out_depth,
+                 "elastic policy: scale_in_depth must be below scale_out_depth");
+    FRIEDA_CHECK(ep.check_interval > 0.0, "elastic policy: check_interval must be > 0");
+    FRIEDA_CHECK(ep.hysteresis >= 1, "elastic policy: hysteresis must be >= 1");
+  }
+
   handed_.assign(units_.size(), 0);
   inbox_ = std::make_unique<sim::Channel<InboxMessage>>(sim_);
   events_ = std::make_unique<sim::Channel<ControllerEvent>>(sim_);
@@ -387,6 +410,14 @@ sim::Task<> FriedaRun::master_main() {
   co_await staging();
   staging_end_ = sim_.now();
   serving_ = true;
+  serve_start_ = sim_.now();
+
+  // Open-loop service mode: the arrival process feeds the queue from here
+  // on, and the elasticity policy watches its depth.
+  if (open_loop() && !finished_) {
+    sim_.spawn(arrival_pump(), "arrival-pump");
+    if (options_.elastic_policy.enabled) sim_.spawn(elastic_main(), "elastic-policy");
+  }
 
   // Kick off the farm: commit assignments up to each worker's credit limit.
   top_up_all();
@@ -676,6 +707,9 @@ void FriedaRun::unit_terminal(WorkUnitId unit, UnitStatus status) {
   unpin_unit(unit);
   rec.status = status;
   rec.finished = sim_.now();
+  if (open_loop() && status == UnitStatus::kCompleted) {
+    latency_.add(rec.finished - rec.arrival);  // sojourn: arrival -> completion
+  }
   trace_terminal(rec);
   ++terminal_count_;
   if (all_terminal()) finish_all();
@@ -905,6 +939,91 @@ void FriedaRun::finish_all() {
 }
 
 // ---------------------------------------------------------------------------
+// Open-loop service mode (arrival injection + reactive elasticity)
+// ---------------------------------------------------------------------------
+
+sim::Task<> FriedaRun::arrival_pump() {
+  // Inject each unit into the shared dispatch queue at its arrival offset
+  // (relative to serving start).  Arrivals keep flowing during a master
+  // outage — the queue is the reconnection buffer; recover_master() tops the
+  // workers up once the master is back.
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const SimTime at = serve_start_ + options_.arrivals[i];
+    if (at > sim_.now()) co_await sim_.delay(at - sim_.now());
+    if (finished_) co_return;
+    auto& rec = unit_state_[i];
+    if (rec.status != UnitStatus::kPending) continue;  // e.g. marked unprocessed
+    rec.arrival = sim_.now();
+    if (tracer_) trace_born_[i] = sim_.now();
+    mark_pending(units_[i].id);
+    queue_.push_back(units_[i].id);
+    if (tracer_) {
+      trace_instant("arrival", "service",
+                    {{"unit", std::to_string(i)},
+                     {"depth", std::to_string(queue_.size())}});
+    }
+    if (!master_down_) top_up_all();
+  }
+}
+
+sim::Task<> FriedaRun::elastic_main() {
+  // Queue-depth-reactive elasticity: sample the dispatch queue every
+  // check_interval; a backlog sustained for `hysteresis` samples provisions
+  // one extra VM, a sustained lull drains and releases the oldest VM this
+  // policy added.  The initial fleet is never touched.
+  const auto& ep = options_.elastic_policy;
+  const cluster::InstanceType vm_type = cluster_.vm(initial_vms_.front()).type();
+  int out_streak = 0;
+  int in_streak = 0;
+  while (!finished_) {
+    co_await sim_.delay(ep.check_interval);
+    if (finished_) co_return;
+    const std::size_t depth = queue_.size();
+    if (depth >= ep.scale_out_depth) {
+      in_streak = 0;
+      if (++out_streak >= ep.hysteresis) {
+        out_streak = 0;
+        if (elastic_live_.size() < ep.max_extra_vms) {
+          const auto vm = add_vm(vm_type);
+          elastic_live_.push_back(vm);
+          ++scale_outs_;
+          FLOG(kInfo, "elastic", "scale-out: vm " << vm << " provisioned at t=" << sim_.now()
+                                                  << " (queue depth " << depth << ")");
+          if (tracer_) {
+            trace_instant("scale-out", "service",
+                          {{"vm", std::to_string(vm)}, {"depth", std::to_string(depth)}});
+          }
+        }
+      }
+    } else if (depth <= ep.scale_in_depth) {
+      out_streak = 0;
+      if (++in_streak >= ep.hysteresis) {
+        in_streak = 0;
+        // Drain-and-release the oldest policy-added VM that is actually up
+        // (one still booting is left to join and be considered next time).
+        for (auto it = elastic_live_.begin(); it != elastic_live_.end(); ++it) {
+          if (!cluster_.vm(*it).running()) continue;
+          const auto vm = *it;
+          elastic_live_.erase(it);
+          ++scale_ins_;
+          FLOG(kInfo, "elastic", "scale-in: vm " << vm << " draining at t=" << sim_.now()
+                                                 << " (queue depth " << depth << ")");
+          if (tracer_) {
+            trace_instant("scale-in", "service",
+                          {{"vm", std::to_string(vm)}, {"depth", std::to_string(depth)}});
+          }
+          remove_vm(vm);
+          break;
+        }
+      }
+    } else {
+      out_streak = 0;
+      in_streak = 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Data staging
 // ---------------------------------------------------------------------------
 
@@ -1002,9 +1121,10 @@ sim::Task<> FriedaRun::staging() {
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       workers_[w]->preassigned.assign(assignment[w].begin(), assignment[w].end());
     }
-  } else {
+  } else if (!open_loop()) {
     // Real-time / remote-read: every unit waits in the shared queue and is
     // handed out lazily as workers ask (the 'lazy' transfer of Section II.F).
+    // Open-loop runs leave the queue empty: the arrival pump fills it.
     for (const auto& u : units_) queue_.push_back(u.id);
   }
 
@@ -1227,6 +1347,11 @@ RunReport FriedaRun::run() {
   report.transfers = cluster_.network().transfers_started() - transfers_baseline_;
   report.workers_isolated = isolated_count_;
   report.timeline = timeline_;
+  report.open_loop = open_loop();
+  report.serve_start = serve_start_;
+  report.latency = latency_;
+  report.scale_outs = scale_outs_;
+  report.scale_ins = scale_ins_;
 
   if (tracer_) {
     // Run-window anchor for trace analytics (obs::TraceAnalyzer): one span
@@ -1253,6 +1378,14 @@ RunReport FriedaRun::run() {
     ev.args.push_back(
         {"net_dirty_classes",
          std::to_string(netw.solver_dirty_classes() - dirty_classes_baseline_)});
+    if (report.open_loop && report.latency.count() > 0) {
+      // Service-mode latency summary, so frieda-trace can print the
+      // percentile line without re-deriving sojourns from unit spans.
+      ev.args.push_back({"latency_p50", std::to_string(report.latency_p(50.0))});
+      ev.args.push_back({"latency_p95", std::to_string(report.latency_p(95.0))});
+      ev.args.push_back({"latency_p99", std::to_string(report.latency_p(99.0))});
+      ev.args.push_back({"sustained_tput", std::to_string(report.sustained_throughput())});
+    }
     tracer_->span(std::move(ev));
   }
   if (options_.metrics) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "common/stats.hpp"
 #include "frieda/app_model.hpp"
 #include "frieda/command.hpp"
 #include "frieda/protocol.hpp"
@@ -47,6 +48,21 @@ class Tracer;
 }  // namespace frieda::obs
 
 namespace frieda::core {
+
+/// Queue-depth-reactive elasticity for the open-loop service mode: the
+/// controller periodically samples the master's dispatch-queue depth and
+/// provisions an extra VM when a backlog persists (scale-out) or drains and
+/// releases one it previously added when the queue stays short (scale-in).
+/// Only VMs added by the policy are ever removed, and transitions are gated
+/// by a hysteresis window so a single noisy sample cannot flap the fleet.
+struct ElasticPolicy {
+  bool enabled = false;
+  std::size_t scale_out_depth = 16;  ///< queue depth that arms a scale-out
+  std::size_t scale_in_depth = 2;    ///< queue depth that arms a scale-in
+  SimTime check_interval = 5.0;      ///< seconds between depth samples
+  int hysteresis = 3;                ///< consecutive armed samples required
+  std::size_t max_extra_vms = 4;     ///< cap on policy-added VMs alive at once
+};
 
 /// Per-run configuration (the controller's directives).
 struct RunOptions {
@@ -90,6 +106,17 @@ struct RunOptions {
   obs::MetricsRegistry* metrics = nullptr;  ///< opt-in named counters
                                       ///< (requeues, evictions, solver
                                       ///< invocations, ...); nullptr = off
+  std::vector<SimTime> arrivals;      ///< open-loop service mode: one offset
+                                      ///< per unit (seconds after serving
+                                      ///< starts, ascending); units enter the
+                                      ///< dispatch queue as they arrive
+                                      ///< instead of all at once.  Empty =
+                                      ///< closed batch (the default).  Only
+                                      ///< the queue-fed strategies support
+                                      ///< this (real-time, remote-read,
+                                      ///< shared-volume).
+  ElasticPolicy elastic_policy;       ///< queue-depth-reactive scale-out/in
+                                      ///< (open-loop mode only)
 };
 
 /// One configured execution; see file comment for the protocol walk-through.
@@ -175,6 +202,8 @@ class FriedaRun {
   sim::Task<> controller_main();
   sim::Task<> master_main();
   sim::Task<> worker_main(WorkerId id);
+  sim::Task<> arrival_pump();   ///< open-loop: inject units at their offsets
+  sim::Task<> elastic_main();   ///< queue-depth-reactive scale-out/in
   sim::Task<> staging();
   sim::Task<> stage_files_to_node(cluster::VmId vm, std::vector<storage::FileId> files);
   sim::Task<> stage_common_data(cluster::VmId vm);
@@ -208,6 +237,7 @@ class FriedaRun {
   void invalidate_unstaged_preassignments();
   bool all_terminal() const { return terminal_count_ == units_.size(); }
   bool worker_live(const WorkerCtx& ws) const;
+  bool open_loop() const { return !options_.arrivals.empty(); }
   /// True for the strategies whose workers stream inputs at execution time
   /// instead of having them staged (remote-read, shared-volume).
   bool streams_inputs() const {
@@ -255,6 +285,15 @@ class FriedaRun {
   SimTime staging_end_ = 0.0;
   SimTime end_time_ = 0.0;
   bool ran_ = false;
+
+  // Open-loop service state: when serving started (arrival offsets are
+  // relative to it), the latency sample set fed by unit_terminal, and the
+  // elasticity policy's bookkeeping (VMs it added, scale event counts).
+  SimTime serve_start_ = 0.0;
+  SampleSet latency_;
+  std::vector<cluster::VmId> elastic_live_;  ///< policy-added VMs, oldest first
+  std::size_t scale_outs_ = 0;
+  std::size_t scale_ins_ = 0;
 
   std::unique_ptr<sim::Channel<InboxMessage>> inbox_;
   std::unique_ptr<sim::Channel<ControllerEvent>> events_;

@@ -283,6 +283,19 @@ TraceAnalysis TraceAnalyzer::analyze(const std::vector<TraceEvent>& events) {
             out.net_dirty_classes = std::strtoull(d->value.c_str(), nullptr, 10);
           }
         }
+        if (const auto* p50 = find_arg(ev, "latency_p50")) {
+          out.latency_stats = true;
+          out.latency_p50 = std::strtod(p50->value.c_str(), nullptr);
+          if (const auto* p95 = find_arg(ev, "latency_p95")) {
+            out.latency_p95 = std::strtod(p95->value.c_str(), nullptr);
+          }
+          if (const auto* p99 = find_arg(ev, "latency_p99")) {
+            out.latency_p99 = std::strtod(p99->value.c_str(), nullptr);
+          }
+          if (const auto* tput = find_arg(ev, "sustained_tput")) {
+            out.sustained_tput = std::strtod(tput->value.c_str(), nullptr);
+          }
+        }
       }
       if (ev.process == kWorkerTrack && (ev.cat == "exec" || ev.cat == "staging")) {
         worker_ids.insert(ev.track);
@@ -372,6 +385,11 @@ std::string render_report(const TraceAnalysis& a, std::size_t max_path_rows) {
        << fmt("%.1f", 100.0 * a.incremental_share()) << "% incremental, "
        << a.net_full_solves << " full, avg dirty set "
        << fmt("%.1f", a.avg_dirty_classes()) << " classes)\n";
+  }
+  if (a.latency_stats) {
+    os << "Open-loop latency: p50 " << fmt("%.3f", a.latency_p50) << " s, p95 "
+       << fmt("%.3f", a.latency_p95) << " s, p99 " << fmt("%.3f", a.latency_p99)
+       << " s (sustained " << fmt("%.3f", a.sustained_tput) << " units/s)\n";
   }
 
   const double ws = a.worker_seconds();

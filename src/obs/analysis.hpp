@@ -128,6 +128,15 @@ struct TraceAnalysis {
     return net_solves > 0 ? static_cast<double>(net_dirty_classes) / net_solves : 0.0;
   }
 
+  // Open-loop service latency over the run window, from the anchor span's
+  // latency_p50/p95/p99 + sustained_tput args (emitted by FriedaRun's
+  // service mode).  `latency_stats` is false for closed-batch traces.
+  bool latency_stats = false;
+  double latency_p50 = 0.0;       ///< median sojourn (arrival -> completion), s
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+  double sustained_tput = 0.0;    ///< completions per second while serving
+
   // Critical path, chronological.  The segments tile [run_start, run_end]:
   // their durations sum to makespan() up to float tolerance.
   std::vector<PathSegment> critical_path;

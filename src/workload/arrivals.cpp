@@ -1,0 +1,125 @@
+#include "workload/arrivals.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace frieda::workload {
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+std::optional<ArrivalKind> parse_arrival_kind(const std::string& text) {
+  if (text == "poisson") return ArrivalKind::kPoisson;
+  if (text == "bursty") return ArrivalKind::kBursty;
+  if (text == "diurnal") return ArrivalKind::kDiurnal;
+  return std::nullopt;
+}
+
+namespace {
+
+void validate(const ArrivalConfig& c) {
+  FRIEDA_CHECK(c.rate > 0.0 && std::isfinite(c.rate), "arrival rate must be > 0");
+  FRIEDA_CHECK(c.burst_factor >= 1.0 && std::isfinite(c.burst_factor),
+               "burst_factor must be >= 1");
+  if (c.kind == ArrivalKind::kBursty) {
+    FRIEDA_CHECK(c.burst_fraction > 0.0 && c.burst_fraction < 1.0,
+                 "burst_fraction must be in (0, 1)");
+  }
+  if (c.kind == ArrivalKind::kDiurnal) {
+    FRIEDA_CHECK(c.period_s > 0.0 && std::isfinite(c.period_s), "period_s must be > 0");
+  }
+}
+
+std::vector<SimTime> poisson(const ArrivalConfig& c, std::size_t count, Rng& rng) {
+  std::vector<SimTime> out;
+  out.reserve(count);
+  SimTime t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(c.rate);
+    out.push_back(t);
+  }
+  return out;
+}
+
+// MMPP-2: exponential dwell times in an ON state at rate_on and an OFF state
+// at rate_off, with the state split and rates chosen so the long-run mean is
+// exactly c.rate.  Within a state arrivals are Poisson; by memorylessness a
+// gap that crosses a state boundary is resampled from the boundary onward.
+std::vector<SimTime> bursty(const ArrivalConfig& c, std::size_t count, Rng& rng) {
+  const double f = c.burst_fraction;
+  const double rate_on = c.rate * c.burst_factor;
+  // mean = f*rate_on + (1-f)*rate_off  =>  solve for rate_off.
+  double rate_off = (c.rate - f * rate_on) / (1.0 - f);
+  FRIEDA_CHECK(rate_off >= 0.0,
+               "bursty arrivals: burst_factor " << c.burst_factor << " with burst_fraction "
+                                                << f << " would need a negative OFF rate");
+  // Dwell times: pick a mean cycle of 32 expected arrivals so several
+  // ON/OFF alternations happen within a typical run at any rate.
+  const double cycle_s = 32.0 / c.rate;
+  const double dwell_on = cycle_s * f;
+  const double dwell_off = cycle_s * (1.0 - f);
+
+  std::vector<SimTime> out;
+  out.reserve(count);
+  SimTime t = 0.0;
+  bool on = false;  // start in the quiet state: the ramp-up is the test
+  SimTime state_end = rng.exponential(1.0 / dwell_off);
+  while (out.size() < count) {
+    const double rate = on ? rate_on : rate_off;
+    const SimTime gap = rate > 0.0 ? rng.exponential(rate)
+                                   : std::numeric_limits<double>::infinity();
+    if (t + gap < state_end) {
+      t += gap;
+      out.push_back(t);
+    } else {
+      // Memoryless: discard the partial gap, flip state, redraw from there.
+      t = state_end;
+      on = !on;
+      state_end = t + rng.exponential(1.0 / (on ? dwell_on : dwell_off));
+    }
+  }
+  return out;
+}
+
+// Non-homogeneous Poisson by Lewis-Shedler thinning: candidate arrivals at
+// the peak rate, accepted with probability rate(t)/peak.  The modulation
+// starts at the trough (sin phase -pi/2), so a run begins quiet and ramps.
+std::vector<SimTime> diurnal(const ArrivalConfig& c, std::size_t count, Rng& rng) {
+  const double a = (c.burst_factor - 1.0) / (c.burst_factor + 1.0);
+  const double peak = c.rate * (1.0 + a);
+  const double two_pi = 2.0 * std::acos(-1.0);
+  std::vector<SimTime> out;
+  out.reserve(count);
+  SimTime t = 0.0;
+  while (out.size() < count) {
+    t += rng.exponential(peak);
+    const double rate_t = c.rate * (1.0 + a * std::sin(two_pi * t / c.period_s - two_pi / 4.0));
+    if (rng.uniform() < rate_t / peak) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SimTime> generate_arrivals(const ArrivalConfig& config, std::size_t count) {
+  validate(config);
+  Rng rng(config.seed);
+  switch (config.kind) {
+    case ArrivalKind::kPoisson: return poisson(config, count, rng);
+    case ArrivalKind::kBursty: return bursty(config, count, rng);
+    case ArrivalKind::kDiurnal: return diurnal(config, count, rng);
+  }
+  FRIEDA_CHECK(false, "unknown arrival kind");
+  return {};
+}
+
+}  // namespace frieda::workload

@@ -1,0 +1,65 @@
+// Arrival processes for the open-loop service mode.
+//
+// A closed batch answers "how long does this dataset take?"; a service
+// answers "what latency do users see at this request rate?".  The arrival
+// models here generate the per-unit offsets (seconds after serving starts)
+// that FriedaRun's open-loop mode injects into the dispatch queue:
+//
+//   poisson  — memoryless arrivals at a constant mean rate; the M/G/k
+//              baseline every queueing result is stated against.
+//   bursty   — a two-state Markov-modulated Poisson process (MMPP-2):
+//              an ON state at `burst_factor` times the base rate and an
+//              OFF state chosen so the long-run mean rate stays `rate`.
+//              Models flash crowds and batch submission fronts.
+//   diurnal  — a non-homogeneous Poisson process whose rate follows one
+//              sinusoidal day starting at the trough:
+//              rate(t) = rate * (1 + a * sin(2*pi*t/period - pi/2)),
+//              a = (burst_factor-1)/(burst_factor+1), sampled by
+//              Lewis-Shedler thinning.  Models the morning ramp a
+//              reactive elasticity policy has to chase.
+//
+// All three are seeded through common/rng, so a (seed, config) pair yields
+// a bit-identical arrival sequence on every run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace frieda::workload {
+
+/// Which arrival model generates the offsets.
+enum class ArrivalKind {
+  kPoisson,
+  kBursty,
+  kDiurnal,
+};
+
+/// Render an arrival kind name ("poisson", "bursty", "diurnal").
+const char* to_string(ArrivalKind kind);
+
+/// Parse an arrival kind name; nullopt when unknown.
+std::optional<ArrivalKind> parse_arrival_kind(const std::string& text);
+
+/// Configuration of one arrival process.
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 1.0;           ///< long-run mean arrivals per second (> 0)
+  double burst_factor = 4.0;   ///< ON-state / peak rate multiplier (>= 1);
+                               ///< ignored by the Poisson model
+  double burst_fraction = 0.2; ///< long-run fraction of time in the ON state
+                               ///< (bursty only; in (0, 1))
+  double period_s = 3600.0;    ///< diurnal cycle length in seconds (> 0)
+  std::uint64_t seed = 42;     ///< arrival stream seed (independent of the
+                               ///< cluster/workload seeds)
+};
+
+/// Generate `count` arrival offsets (seconds, ascending, starting at the
+/// first inter-arrival gap) for the configured process.  Deterministic in
+/// (config, count).  Throws on invalid configuration.
+std::vector<SimTime> generate_arrivals(const ArrivalConfig& config, std::size_t count);
+
+}  // namespace frieda::workload

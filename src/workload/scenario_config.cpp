@@ -8,6 +8,7 @@
 #include "common/string_util.hpp"
 #include "frieda/partition.hpp"
 #include "frieda/run.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/blast.hpp"
 #include "workload/image_compare.hpp"
 #include "workload/synthetic.hpp"
@@ -120,6 +121,42 @@ core::RunReport run_scenario(const Config& config) {
   options.locality_aware = config.get_bool("run.locality_aware", false);
 
   auto units = core::PartitionGenerator::generate(options.scheme, *catalog);
+
+  // ---- service mode (open-loop arrivals + reactive elasticity) ----
+  const auto arrival_name = strutil::lower(config.get_string("service.arrivals", ""));
+  const auto policy = strutil::lower(config.get_string("service.elastic_policy", "fixed"));
+  FRIEDA_CHECK(policy == "fixed" || policy == "reactive",
+               "unknown service.elastic_policy '" << policy << "' (fixed | reactive)");
+  FRIEDA_CHECK(arrival_name.empty() ? policy == "fixed" : true,
+               "service.elastic_policy = reactive requires service.arrivals");
+  if (!arrival_name.empty()) {
+    ArrivalConfig ac;
+    const auto arrival_kind = parse_arrival_kind(arrival_name);
+    FRIEDA_CHECK(arrival_kind.has_value(), "unknown service.arrivals '"
+                                               << arrival_name
+                                               << "' (poisson | bursty | diurnal)");
+    ac.kind = *arrival_kind;
+    ac.rate = config.get_double("service.arrival_rate", 1.0);
+    ac.burst_factor = config.get_double("service.burst_factor", 4.0);
+    ac.burst_fraction = config.get_double("service.burst_fraction", 0.2);
+    ac.period_s = config.get_double("service.period_s", 3600.0);
+    ac.seed = static_cast<std::uint64_t>(config.get_int("service.arrival_seed", 42));
+    options.arrivals = generate_arrivals(ac, units.size());
+
+    if (policy == "reactive") {
+      auto& ep = options.elastic_policy;
+      ep.enabled = true;
+      ep.scale_out_depth =
+          static_cast<std::size_t>(config.get_int("service.scale_out_depth", 16));
+      ep.scale_in_depth =
+          static_cast<std::size_t>(config.get_int("service.scale_in_depth", 2));
+      ep.check_interval = config.get_double("service.check_interval_s", 5.0);
+      ep.hysteresis = static_cast<int>(config.get_int("service.hysteresis", 3));
+      ep.max_extra_vms =
+          static_cast<std::size_t>(config.get_int("service.max_extra_vms", 4));
+    }
+  }
+
   const auto arity = units.front().inputs.size();
   const core::CommandTemplate command(
       config.get_string("run.command", arity == 1 ? "app $inp1" : "app $inp1 $inp2"));

@@ -67,6 +67,10 @@ core::RunReport execute(Built& b, const core::AppModel& app,
   ropt.requeue_on_failure = opt.requeue_on_failure;
   ropt.tracer = opt.tracer;
   ropt.metrics = opt.metrics;
+  if (opt.service.open_loop) {
+    ropt.arrivals = generate_arrivals(opt.service.arrivals, units.size());
+    ropt.elastic_policy = opt.service.elastic;
+  }
   core::FriedaRun run(*b.cluster, catalog, std::move(units), app, command, ropt);
   if (strategy == core::PlacementStrategy::kPrePartitionLocal) {
     run.pre_place_partitions(b.vms);
@@ -95,6 +99,24 @@ void hash_options(StableHasher& h, const PaperScenarioOptions& opt) {
       .mix_u64(opt.seed)
       .mix_i64(opt.prefetch)
       .mix_bool(opt.requeue_on_failure);
+  if (opt.service.open_loop) {
+    // Appended for the service mode; closed-batch fingerprints are unchanged.
+    const auto& ac = opt.service.arrivals;
+    const auto& ep = opt.service.elastic;
+    h.mix_bool(true)
+        .mix_u64(static_cast<std::uint64_t>(ac.kind))
+        .mix_f64(ac.rate)
+        .mix_f64(ac.burst_factor)
+        .mix_f64(ac.burst_fraction)
+        .mix_f64(ac.period_s)
+        .mix_u64(ac.seed)
+        .mix_bool(ep.enabled)
+        .mix_u64(ep.scale_out_depth)
+        .mix_u64(ep.scale_in_depth)
+        .mix_f64(ep.check_interval)
+        .mix_i64(ep.hysteresis)
+        .mix_u64(ep.max_extra_vms);
+  }
 }
 
 double estimate_units(const char* app, const PaperScenarioOptions& opt) {

@@ -13,10 +13,20 @@
 #include "common/hash.hpp"
 #include "frieda/report.hpp"
 #include "frieda/run.hpp"
+#include "workload/arrivals.hpp"
 #include "workload/blast.hpp"
 #include "workload/image_compare.hpp"
 
 namespace frieda::workload {
+
+/// Open-loop service-mode knobs for a paper scenario: when enabled, units
+/// are injected by the configured arrival process instead of being queued
+/// up front, and the run reports latency percentiles + sustained throughput.
+struct ServiceOptions {
+  bool open_loop = false;                  ///< off = classic closed batch
+  ArrivalConfig arrivals;                  ///< arrival process (open-loop only)
+  core::ElasticPolicy elastic;             ///< reactive scale-out/in policy
+};
 
 /// Knobs shared by every paper scenario.
 struct PaperScenarioOptions {
@@ -31,6 +41,7 @@ struct PaperScenarioOptions {
   obs::Tracer* tracer = nullptr;   ///< opt-in run tracing (forwarded to
                                    ///< RunOptions::tracer)
   obs::MetricsRegistry* metrics = nullptr;  ///< opt-in metrics registry
+  ServiceOptions service;          ///< open-loop arrivals + elasticity policy
 
   /// Hook called after the run is constructed and before it executes —
   /// benches use it to schedule failures or elasticity.

@@ -310,6 +310,29 @@ TEST(Analysis, SolverStatsParseFromTheAnchorSpan) {
   EXPECT_EQ(render_report(legacy).find("Network solver"), std::string::npos);
 }
 
+TEST(Analysis, ServiceLatencyParsesFromTheAnchorSpan) {
+  auto events = two_worker_trace();
+  events[0].args = {{"latency_p50", "12.5"},
+                    {"latency_p95", "30.25"},
+                    {"latency_p99", "41"},
+                    {"sustained_tput", "1.875"}};
+  const auto a = TraceAnalyzer::analyze(events);
+  ASSERT_TRUE(a.latency_stats);
+  EXPECT_DOUBLE_EQ(a.latency_p50, 12.5);
+  EXPECT_DOUBLE_EQ(a.latency_p95, 30.25);
+  EXPECT_DOUBLE_EQ(a.latency_p99, 41.0);
+  EXPECT_DOUBLE_EQ(a.sustained_tput, 1.875);
+
+  const auto report = render_report(a);
+  EXPECT_NE(report.find("Open-loop latency"), std::string::npos);
+  EXPECT_NE(report.find("p99 41.000 s"), std::string::npos);
+
+  // Closed-batch traces carry no latency args and render no latency line.
+  const auto closed = TraceAnalyzer::analyze(two_worker_trace());
+  EXPECT_FALSE(closed.latency_stats);
+  EXPECT_EQ(render_report(closed).find("Open-loop latency"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Real traced fig6a run: the acceptance invariants
 // ---------------------------------------------------------------------------

@@ -107,6 +107,43 @@ TEST(History, SerializeRoundTrip) {
   EXPECT_THROW(ExecutionHistory::deserialize("bad line no pipes"), FriedaError);
 }
 
+TEST(History, SerializeEscapesDelimiterInAppName) {
+  // Regression: an app name containing '|' (or '\') used to shift the fields
+  // on deserialize, corrupting the round-trip.
+  ExecutionHistory h;
+  h.record("blast|nr|v5", PlacementStrategy::kRealTime, 120.0);
+  h.record("back\\slash", PlacementStrategy::kRemoteRead, 60.0);
+  const auto text = h.serialize();
+  const auto back = ExecutionHistory::deserialize(text);
+  EXPECT_EQ(back.observations("blast|nr|v5", PlacementStrategy::kRealTime), 1u);
+  EXPECT_NEAR(*back.mean_makespan("blast|nr|v5", PlacementStrategy::kRealTime), 120.0, 1e-9);
+  EXPECT_EQ(back.observations("back\\slash", PlacementStrategy::kRemoteRead), 1u);
+  // Serializing the decoded history again is a fixed point.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(History, DeserializeRejectsMalformedLines) {
+  // Truncated line (missing fields).
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|3"), FriedaError);
+  // Extra field.
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|3|1.0|extra"), FriedaError);
+  // Unknown strategy.
+  EXPECT_THROW(ExecutionHistory::deserialize("app|warp-drive|3|1.0"), FriedaError);
+  // Garbage count / trailing junk on numbers.
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|three|1.0"), FriedaError);
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|-2|1.0"), FriedaError);
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|3|1.0junk"), FriedaError);
+  // Non-finite or negative mean.
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|3|nan"), FriedaError);
+  EXPECT_THROW(ExecutionHistory::deserialize("app|real-time|3|-5.0"), FriedaError);
+  // Dangling escape at end of line, and unknown escape sequence.
+  EXPECT_THROW(ExecutionHistory::deserialize("app\\|real-time|3|1.0\\"), FriedaError);
+  EXPECT_THROW(ExecutionHistory::deserialize("app\\q|real-time|3|1.0"), FriedaError);
+  // Blank lines are still tolerated.
+  const auto h = ExecutionHistory::deserialize("\n  \napp|real-time|1|2.0\n\n");
+  EXPECT_EQ(h.observations("app", PlacementStrategy::kRealTime), 1u);
+}
+
 TEST(Adaptive, HeuristicTransferBoundPicksRealTime) {
   WorkloadShape shape;
   shape.bytes_per_unit = 14 * MB;       // ALS-like

@@ -154,5 +154,46 @@ TEST(ScenarioConfig, StreamsAndLocalityKnobs) {
   EXPECT_EQ(report.bytes_moved, 10u * 4 * 1000 * 1000);
 }
 
+TEST(ScenarioConfig, ServiceModeRunsOpenLoop) {
+  const auto report = run_scenario_text(R"(
+    [cluster]
+    vms = 2
+    cores = 2
+    [workload]
+    files = 30
+    file_mb = 1
+    task_s = 1
+    [run]
+    strategy = real-time
+    [service]
+    arrivals = poisson
+    arrival_rate = 5
+    arrival_seed = 9
+    elastic_policy = reactive
+    scale_out_depth = 6
+    scale_in_depth = 1
+    check_interval_s = 1
+    hysteresis = 1
+  )");
+  EXPECT_TRUE(report.all_completed());
+  EXPECT_TRUE(report.open_loop);
+  EXPECT_EQ(report.latency.count(), report.units_completed);
+  EXPECT_GT(report.latency_p(95.0), 0.0);
+  EXPECT_GT(report.sustained_throughput(), 0.0);
+}
+
+TEST(ScenarioConfig, ServiceModeBadValuesThrow) {
+  EXPECT_THROW(run_scenario_text("[service]\narrivals = weibull\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text("[service]\nelastic_policy = psychic\n"), FriedaError);
+  EXPECT_THROW(run_scenario_text(R"(
+    [service]
+    arrivals = poisson
+    arrival_rate = -2
+  )"),
+               FriedaError);
+  // Reactive elasticity is meaningless without arrivals; the config says so.
+  EXPECT_THROW(run_scenario_text("[service]\nelastic_policy = reactive\n"), FriedaError);
+}
+
 }  // namespace
 }  // namespace frieda::workload

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 
@@ -109,13 +112,63 @@ TEST(Histogram, Buckets) {
   EXPECT_EQ(h.total(), 10u);
 }
 
-TEST(Histogram, EdgeClamping) {
+TEST(SampleSet, ConcurrentPercentileReadersAreRaceFree) {
+  // Regression: percentile() used to sort its cache without synchronization
+  // inside a const method, racing when multiple threads read a shared set.
+  // Run under the tsan preset this test fails on the old implementation.
+  SampleSet s;
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) s.add(rng.uniform());
+  const double expect_p50 = s.percentile(50.0);
+  s.add(0.5);  // invalidate the sorted cache so readers must rebuild it
+  std::vector<std::thread> readers;
+  std::vector<double> medians(8, 0.0);
+  for (std::size_t t = 0; t < medians.size(); ++t) {
+    readers.emplace_back([&s, &medians, t] { medians[t] = s.percentile(50.0); });
+  }
+  for (auto& th : readers) th.join();
+  for (double m : medians) EXPECT_DOUBLE_EQ(m, medians[0]);
+  EXPECT_NEAR(medians[0], expect_p50, 1e-2);
+}
+
+TEST(SampleSet, CopyAndMovePreserveSamples) {
+  SampleSet a;
+  a.add(3.0);
+  a.add(1.0);
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(a.median(), 2.0);  // populate the sorted cache
+  SampleSet b = a;                    // copy with a warm cache
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.median(), 2.0);
+  b.add(10.0);
+  EXPECT_EQ(a.count(), 3u);  // deep copy, not shared
+  SampleSet c = std::move(b);
+  EXPECT_EQ(c.count(), 4u);
+  EXPECT_DOUBLE_EQ(c.percentile(100.0), 10.0);
+  SampleSet d;
+  d = a;
+  EXPECT_DOUBLE_EQ(d.median(), 2.0);
+  d = std::move(c);
+  EXPECT_EQ(d.count(), 4u);
+}
+
+TEST(Histogram, UnderOverflowTrackedSeparately) {
+  // Regression: values >= hi used to be clamped into the top bucket (and
+  // values < lo into the bottom one), silently inflating the edge bins.
   Histogram h(0.0, 1.0, 4);
-  h.add(-5.0);
-  h.add(99.0);
-  h.add(1.0);  // hi boundary clamps into the last bucket
-  EXPECT_EQ(h.bucket(0), 1u);
-  EXPECT_EQ(h.bucket(3), 2u);
+  h.add(-5.0);  // underflow
+  h.add(99.0);  // overflow
+  h.add(1.0);   // hi is exclusive: overflow, not the last bucket
+  h.add(0.9);   // genuinely in the last bucket
+  EXPECT_EQ(h.bucket(0), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.in_range(), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  const auto art = h.ascii(10);
+  EXPECT_NE(art.find("underflow"), std::string::npos);
+  EXPECT_NE(art.find("overflow"), std::string::npos);
 }
 
 TEST(Histogram, InvalidConstruction) {
