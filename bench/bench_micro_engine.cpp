@@ -7,8 +7,10 @@
 
 #include "cluster/cluster.hpp"
 #include "exp/grid.hpp"
+#include "frieda/assignment.hpp"
 #include "frieda/partition.hpp"
 #include "frieda/run.hpp"
+#include "frieda/template.hpp"
 #include "net/fairshare.hpp"
 #include "net/network.hpp"
 #include "sim/channel.hpp"
@@ -284,6 +286,66 @@ void BM_SweepMemoized(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
 }
 BENCHMARK(BM_SweepMemoized)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ControlPlaneTemplate(benchmark::State& state) {
+  // Control-plane cost per unit, cold vs. warm.  Cold (range(1)==0) is what
+  // the first run of a scenario pays: partition generation plus a full
+  // template capture — one command binding per unit, the assignment table,
+  // and validation.  Warm (range(1)==1) is what every subsequent run pays:
+  // a store lookup plus the instantiation copies a run actually consumes
+  // (the unit list, the assignment table, one AssignWork prototype per
+  // unit).  The per-item ratio is what execution templates buy.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const bool warm = state.range(1) == 1;
+  storage::FileCatalog cat;
+  cat.add_file("query.fasta", 4 * MB);
+  for (std::size_t i = 0; i < n; ++i) {
+    cat.add_file("db" + std::to_string(i), MB + (i % 7) * 128 * 1024);
+  }
+  const core::CommandTemplate command("blastall -p blastp -i $inp1 -d $inp2");
+  constexpr std::size_t kWorkers = 16;
+  core::TemplateStore store;
+  const Fingerprint key =
+      StableHasher().mix_str("bench-control-plane").mix_u64(n).digest();
+  if (warm) {
+    auto units = core::PartitionGenerator::generate(core::PartitionScheme::kOneToAll, cat);
+    store.insert(key, core::ExecutionTemplate::capture(
+                          std::move(units), command, cat, "/data", true,
+                          core::AssignmentPolicy::kRoundRobin, kWorkers, 0, {}));
+  }
+  for (auto _ : state) {
+    if (warm) {
+      const auto tmpl = store.lookup(key);
+      std::vector<core::WorkUnit> units = tmpl->units();
+      std::vector<std::vector<core::WorkUnitId>> table = tmpl->assignment();
+      benchmark::DoNotOptimize(table);
+      for (std::size_t i = 0; i < units.size(); ++i) {
+        core::AssignWork work = tmpl->prototypes()[i];
+        benchmark::DoNotOptimize(work);
+      }
+      benchmark::DoNotOptimize(units);
+    } else {
+      store.clear();
+      auto units =
+          core::PartitionGenerator::generate(core::PartitionScheme::kOneToAll, cat);
+      auto tmpl = core::ExecutionTemplate::capture(
+          std::move(units), command, cat, "/data", true,
+          core::AssignmentPolicy::kRoundRobin, kWorkers, 0, {});
+      store.insert(key, std::move(tmpl));
+      benchmark::DoNotOptimize(store.size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ControlPlaneTemplate)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -345,6 +345,10 @@ class SweepRunner {
                                job_wall[i]);
         }
       }
+      // Sweep completion checkpoint: when the calibrator has a persistence
+      // path attached (FRIEDA_CALIBRATION_FILE), the rates just learned are
+      // written back so the next process starts warm.
+      calibrator_->save_if_persistent();
     }
 
     {

@@ -1,7 +1,10 @@
 #include "obs/report_sink.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
+
+#include "common/log.hpp"
 
 namespace frieda::obs {
 
@@ -79,17 +82,30 @@ void ProgressReporter::print_line(const std::string& line) {
   ++lines_;
 }
 
+double ProgressReporter::parse_interval_env(const char* text) {
+  if (text == nullptr || *text == '\0') return -1.0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') return -1.0;  // no digits, or trailing junk
+  if (std::isnan(v) || v < 0.0 || v > kMaxIntervalSeconds) return -1.0;
+  return v;  // 0 = explicit disable, otherwise a valid interval
+}
+
 std::unique_ptr<ProgressReporter> ProgressReporter::from_env() {
   const char* raw = std::getenv("FRIEDA_SWEEP_PROGRESS");
   if (raw == nullptr || raw[0] == '\0') return nullptr;
-  char* end = nullptr;
-  const double v = std::strtod(raw, &end);
+  const double v = parse_interval_env(raw);
   ProgressOptions opt;
-  if (end != raw && *end == '\0') {
-    if (v <= 0.0) return nullptr;  // "0" disables explicitly
-    opt.min_interval_s = v;
+  if (v < 0.0) {
+    FLOG(kWarn, "sweep",
+         "ignoring FRIEDA_SWEEP_PROGRESS='"
+             << raw << "' (expected seconds in [0, "
+             << static_cast<long>(kMaxIntervalSeconds)
+             << "]); progress enabled at the default interval");
+    return std::make_unique<ProgressReporter>(opt);
   }
-  // Non-numeric values ("1s", "yes", ...) enable the default interval.
+  if (v == 0.0) return nullptr;  // "0" disables explicitly
+  opt.min_interval_s = v;
   return std::make_unique<ProgressReporter>(opt);
 }
 

@@ -63,10 +63,23 @@ class ProgressReporter {
   std::size_t lines_printed() const;
 
   /// Build a reporter from the `FRIEDA_SWEEP_PROGRESS` environment
-  /// variable: unset/empty/"0" -> nullptr (disabled); a positive number is
-  /// the update interval in seconds; any other value enables the default
-  /// interval.  Output goes to stderr.
+  /// variable: unset/empty/"0" -> nullptr (disabled); a positive number of
+  /// seconds in (0, kMaxIntervalSeconds] is the update interval.  Any other
+  /// value (trailing junk, negative, NaN/inf, out of range) logs a kWarn
+  /// and enables the default interval — setting the variable expressed the
+  /// intent to see progress, so a typo degrades loudly, not silently.
+  /// Output goes to stderr.
   static std::unique_ptr<ProgressReporter> from_env();
+
+  /// Widest accepted update interval: one day between lines is already
+  /// indistinguishable from "disabled", anything beyond it is a typo.
+  static constexpr double kMaxIntervalSeconds = 86400.0;
+
+  /// Parse a FRIEDA_SWEEP_PROGRESS value: 0 for an explicit "0" (disable),
+  /// the interval for a full numeric parse in (0, kMaxIntervalSeconds],
+  /// and a negative value for anything invalid (the from_env caller warns
+  /// and falls back to the default interval).  Exposed for tests.
+  static double parse_interval_env(const char* text);
 
  private:
   void print_line(const std::string& line);

@@ -197,6 +197,42 @@ TEST(Sweep, HookedOptionsAreNotFingerprintable) {
   EXPECT_FALSE(scenario_fingerprint("als", "real-time", metered).has_value());
 }
 
+TEST(Sweep, TemplateFingerprintIsStructuralOnly) {
+  // The execution-template key is deliberately coarser than the result key:
+  // patchable fields (seed, VM shape) must share it, structural ones split.
+  const PaperScenarioOptions base;
+  const auto key =
+      scenario_template_fingerprint("blast", PlacementStrategy::kRealTime, base);
+  ASSERT_TRUE(key.has_value());
+
+  auto patchable = base;
+  patchable.seed = 99;
+  patchable.worker_vms = 8;
+  patchable.multicore = false;
+  EXPECT_EQ(*key, *scenario_template_fingerprint("blast", PlacementStrategy::kRealTime,
+                                                 patchable));
+
+  auto scaled = base;
+  scaled.scale = 0.5;
+  EXPECT_NE(*key,
+            *scenario_template_fingerprint("blast", PlacementStrategy::kRealTime, scaled));
+  EXPECT_NE(*key, *scenario_template_fingerprint(
+                      "blast", PlacementStrategy::kPrePartitionLocal, base));
+
+  // Tracer/metrics hooks stay templatable (the run still executes fully),
+  // but an arrange hook disqualifies — no captured decision set covers it.
+  obs::MetricsRegistry registry;
+  auto metered = base;
+  metered.metrics = &registry;
+  EXPECT_TRUE(scenario_template_fingerprint("blast", PlacementStrategy::kRealTime, metered)
+                  .has_value());
+  auto arranged = base;
+  arranged.arrange = [](sim::Simulation&, cluster::VirtualCluster&, core::FriedaRun&) {};
+  EXPECT_FALSE(
+      scenario_template_fingerprint("blast", PlacementStrategy::kRealTime, arranged)
+          .has_value());
+}
+
 // ---------------------------------------------------------------------------
 // Memoization: cache hits, in-batch dedup, opt-outs.
 // ---------------------------------------------------------------------------
@@ -881,6 +917,152 @@ TEST(Progress, FromEnvDisabledByDefault) {
   ::setenv("FRIEDA_SWEEP_PROGRESS", "yes", 1);
   EXPECT_NE(obs::ProgressReporter::from_env(), nullptr);
   ::unsetenv("FRIEDA_SWEEP_PROGRESS");
+}
+
+TEST(Progress, ParseIntervalEnvAcceptsSecondsOnly) {
+  using obs::ProgressReporter;
+  // Valid: plain seconds in [0, kMaxIntervalSeconds].
+  EXPECT_DOUBLE_EQ(ProgressReporter::parse_interval_env("0"), 0.0);
+  EXPECT_DOUBLE_EQ(ProgressReporter::parse_interval_env("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(ProgressReporter::parse_interval_env("0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(ProgressReporter::parse_interval_env("1e2"), 100.0);
+  EXPECT_DOUBLE_EQ(ProgressReporter::parse_interval_env("86400"),
+                   ProgressReporter::kMaxIntervalSeconds);
+  // Invalid: unset/empty, trailing junk, negatives, NaN/inf, out of range.
+  EXPECT_LT(ProgressReporter::parse_interval_env(nullptr), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env(""), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("yes"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("2.5s"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("1,5"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("-1"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("nan"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("inf"), 0.0);
+  EXPECT_LT(ProgressReporter::parse_interval_env("86401"), 0.0);
+}
+
+TEST(Progress, FromEnvInvalidValueFallsBackToDefaultInterval) {
+  // Setting the variable expressed intent to see progress: a typo degrades
+  // to the default interval (loudly, via kWarn) instead of going silent.
+  ::setenv("FRIEDA_SWEEP_PROGRESS", "fast", 1);
+  const auto reporter = obs::ProgressReporter::from_env();
+  ASSERT_NE(reporter, nullptr);
+  ::setenv("FRIEDA_SWEEP_PROGRESS", "-3", 1);
+  EXPECT_NE(obs::ProgressReporter::from_env(), nullptr);
+  ::unsetenv("FRIEDA_SWEEP_PROGRESS");
+}
+
+// ---------------------------------------------------------------------------
+// Calibration persistence (FRIEDA_CALIBRATION_FILE).
+// ---------------------------------------------------------------------------
+
+std::string temp_calibration_path(const char* name) {
+  return std::string(testing::TempDir()) + "/" + name;
+}
+
+TEST(CalibratorPersistence, SaveThenLoadRoundTrips) {
+  const auto path = temp_calibration_path("frieda_cal_roundtrip.tsv");
+  std::remove(path.c_str());
+
+  CostCalibrator writer;
+  writer.observe("blast/realtime", 10.0, 5.0);   // rate 0.5
+  writer.observe("als/prepartition", 4.0, 8.0);  // rate 2.0
+  ASSERT_TRUE(writer.save_file(path));
+
+  CostCalibrator reader;
+  ASSERT_TRUE(reader.load_file(path));
+  EXPECT_EQ(reader.classes(), 2u);
+  EXPECT_DOUBLE_EQ(reader.rate("blast/realtime").value(), 0.5);
+  EXPECT_DOUBLE_EQ(reader.rate("als/prepartition").value(), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(CalibratorPersistence, InProcessRatesWinOverFileRates) {
+  const auto path = temp_calibration_path("frieda_cal_merge.tsv");
+  CostCalibrator writer;
+  writer.observe("class/a", 1.0, 3.0);  // file rate 3.0
+  writer.observe("class/b", 1.0, 7.0);  // file rate 7.0
+  ASSERT_TRUE(writer.save_file(path));
+
+  CostCalibrator reader;
+  reader.observe("class/a", 1.0, 1.0);  // fresher in-process rate 1.0
+  ASSERT_TRUE(reader.load_file(path));
+  EXPECT_DOUBLE_EQ(reader.rate("class/a").value(), 1.0);  // measured wins
+  EXPECT_DOUBLE_EQ(reader.rate("class/b").value(), 7.0);  // file seeds the rest
+  std::remove(path.c_str());
+}
+
+TEST(CalibratorPersistence, MissingFileIsAQuietColdStart) {
+  CostCalibrator cal;
+  EXPECT_FALSE(cal.load_file(temp_calibration_path("frieda_cal_nonexistent.tsv")));
+  EXPECT_EQ(cal.classes(), 0u);
+}
+
+TEST(CalibratorPersistence, MalformedContentIsSkippedNotTrusted) {
+  const auto path = temp_calibration_path("frieda_cal_malformed.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("frieda-calibration v1\n", f);
+    std::fputs("good/class\t1.5\n", f);
+    std::fputs("no-tab-line\n", f);          // malformed: no separator
+    std::fputs("bad/rate\tpotato\n", f);     // malformed: non-numeric rate
+    std::fputs("bad/negative\t-2.0\n", f);   // malformed: rate must be > 0
+    std::fputs("bad/trailing\t1.5x\n", f);   // malformed: trailing junk
+    std::fclose(f);
+  }
+  CostCalibrator cal;
+  EXPECT_TRUE(cal.load_file(path));  // something valid was loaded
+  EXPECT_EQ(cal.classes(), 1u);
+  EXPECT_DOUBLE_EQ(cal.rate("good/class").value(), 1.5);
+  std::remove(path.c_str());
+}
+
+TEST(CalibratorPersistence, WrongHeaderIsRejectedEntirely) {
+  const auto path = temp_calibration_path("frieda_cal_header.tsv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("frieda-calibration v999\n", f);
+    std::fputs("some/class\t1.5\n", f);
+    std::fclose(f);
+  }
+  CostCalibrator cal;
+  EXPECT_FALSE(cal.load_file(path));
+  EXPECT_EQ(cal.classes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CalibratorPersistence, SweepCompletionSavesWhenPathAttached) {
+  const auto path = temp_calibration_path("frieda_cal_sweep.tsv");
+  std::remove(path.c_str());
+
+  CostCalibrator cal;
+  EXPECT_FALSE(cal.save_if_persistent());  // no path attached -> no-op
+  cal.set_persist_path(path);
+  EXPECT_EQ(cal.persist_path(), path);
+
+  SweepRunner<int> runner(SweepOptions{1});
+  runner.set_cache(nullptr);
+  runner.set_calibrator(&cal);
+  std::vector<Job<int>> jobs;
+  Job<int> job{"cal", [] {
+                 std::this_thread::sleep_for(std::chrono::milliseconds(5));
+                 return 1;
+               }};
+  job.calibration = Job<int>::Calibration{"test/persist", 1.0};
+  jobs.push_back(std::move(job));
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_TRUE(out[0].ok());
+
+  // The runner checkpointed the learned rates on completion.
+  CostCalibrator reloaded;
+  ASSERT_TRUE(reloaded.load_file(path));
+  EXPECT_EQ(reloaded.classes(), 1u);
+  EXPECT_GT(reloaded.rate("test/persist").value(), 0.0);
+  std::remove(path.c_str());
+
+  cal.set_persist_path("");  // detach
+  EXPECT_FALSE(cal.save_if_persistent());
 }
 
 }  // namespace
