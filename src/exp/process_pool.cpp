@@ -1,0 +1,199 @@
+#include "exp/process_pool.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace frieda::exp {
+
+namespace {
+
+// Parent-side registry of pipe write ends that are currently inherited by
+// in-flight children.  fork() runs with `fork_mutex` held so the set is
+// consistent at the instant of the fork; the child then closes every
+// registered fd except its own, guaranteeing the parent sees EOF (and
+// therefore detects a crash) as soon as *its* child dies — not when the
+// last concurrently forked sibling exits.
+std::mutex fork_mutex;
+std::set<int>& live_write_fds() {
+  static std::set<int> fds;
+  return fds;
+}
+
+// Frames above this are a corrupted length prefix, not a real report (the
+// largest committed sweep reports are a few MB).
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 32;
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-frame: the writer died
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool write_frame(int fd, char status, const std::string& payload) {
+  unsigned char header[8];
+  const std::uint64_t len = payload.size() + 1;  // status byte + payload
+  for (int i = 0; i < 8; ++i) header[i] = static_cast<unsigned char>(len >> (8 * i));
+  return write_all(fd, header, sizeof(header)) && write_all(fd, &status, 1) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, char& status, std::string& payload) {
+  unsigned char header[8];
+  if (!read_all(fd, header, sizeof(header))) return false;
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) len |= static_cast<std::uint64_t>(header[i]) << (8 * i);
+  if (len == 0 || len > kMaxFrameBytes) return false;
+  if (!read_all(fd, &status, 1)) return false;
+  payload.resize(static_cast<std::size_t>(len - 1));
+  return payload.empty() || read_all(fd, payload.data(), payload.size());
+}
+
+std::string describe_wait_status(int wait_status) {
+  std::ostringstream os;
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    const char* name = ::strsignal(sig);
+    os << "child killed by signal " << sig;
+    if (name != nullptr) os << " (" << name << ")";
+    return os.str();
+  }
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    if (code == 0) return {};
+    os << "child exited with status " << code;
+    return os.str();
+  }
+  os << "child ended abnormally (wait status " << wait_status << ")";
+  return os.str();
+}
+
+}  // namespace detail
+
+ForkOutcome run_in_child(const std::function<std::string()>& work) {
+  ForkOutcome outcome;
+  int fds[2];
+  pid_t pid = -1;
+  {
+    // pipe + registry insert + fork are one atomic step: no sibling can
+    // fork between them and inherit an unregistered write end.
+    std::lock_guard<std::mutex> lock(fork_mutex);
+    if (::pipe(fds) != 0) {
+      outcome.crash = std::string("pipe() failed: ") + std::strerror(errno);
+      return outcome;
+    }
+    live_write_fds().insert(fds[1]);
+    pid = ::fork();
+    if (pid == 0) {
+      // Child: drop every sibling's write end (we hold the lock's *memory*,
+      // not the lock — the set cannot change under us in our own copy of
+      // the address space), keep only our own.
+      ::close(fds[0]);
+      for (const int fd : live_write_fds()) {
+        if (fd != fds[1]) ::close(fd);
+      }
+      char status = 'R';
+      std::string payload;
+      try {
+        payload = work();
+      } catch (const std::exception& e) {
+        status = 'E';
+        payload = e.what();
+      } catch (...) {
+        status = 'E';
+        payload = "unknown exception";
+      }
+      const bool shipped = detail::write_frame(fds[1], status, payload);
+      ::close(fds[1]);
+      // _exit, never exit: static destructors and buffered stdio belong to
+      // the parent, and flushing inherited buffers would duplicate output.
+      ::_exit(shipped ? 0 : 3);
+    }
+  }
+  if (pid < 0) {
+    outcome.crash = std::string("fork() failed: ") + std::strerror(errno);
+    {
+      std::lock_guard<std::mutex> lock(fork_mutex);
+      live_write_fds().erase(fds[1]);
+    }
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return outcome;
+  }
+
+  // Parent: retire our write end from the registry and close it so EOF on
+  // the read end tracks the child's lifetime alone.
+  {
+    std::lock_guard<std::mutex> lock(fork_mutex);
+    live_write_fds().erase(fds[1]);
+  }
+  ::close(fds[1]);
+
+  char status = 0;
+  std::string payload;
+  const bool framed = detail::read_frame(fds[0], status, payload);
+  ::close(fds[0]);
+
+  int wait_status = 0;
+  pid_t reaped;
+  do {
+    reaped = ::waitpid(pid, &wait_status, 0);
+  } while (reaped < 0 && errno == EINTR);
+
+  // A violent death always wins over whatever bytes made it through: a
+  // child that SIGSEGVs after a complete-looking frame cannot be trusted.
+  std::string died;
+  if (reaped < 0) {
+    died = std::string("waitpid() failed: ") + std::strerror(errno);
+  } else {
+    died = detail::describe_wait_status(wait_status);
+  }
+  if (!died.empty()) {
+    outcome.crash = died;
+    return outcome;
+  }
+  if (!framed || (status != 'R' && status != 'E')) {
+    outcome.crash = "truncated result frame from child (clean exit, bad stream)";
+    return outcome;
+  }
+  outcome.delivered = true;
+  outcome.ok = status == 'R';
+  outcome.payload = std::move(payload);
+  return outcome;
+}
+
+}  // namespace frieda::exp

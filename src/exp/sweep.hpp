@@ -1,12 +1,34 @@
 // Parallel sweep engine: memoized, cost-aware batch execution of scenario
-// runs on a thread pool.
+// runs on a thread pool or a fork-based process pool.
 //
 // The paper's entire evaluation — Table I, Figures 6–7, the eight ablations —
 // is a grid of *independent, deterministic* simulation runs.  A `SweepRunner`
-// executes such a grid on a fixed pool of `std::thread`s fed through
-// `rt::MpmcQueue` and returns results **in job order**, regardless of thread
-// count or completion order, so a sweep's tables and CSVs are byte-identical
-// to running the same jobs sequentially.
+// executes such a grid on a fixed pool of workers and returns results **in
+// job order**, regardless of backend, worker count, completion order, or
+// steal order, so a sweep's tables and CSVs are byte-identical to running
+// the same jobs sequentially.
+//
+// Backends (SweepOptions::backend, FRIEDA_SWEEP_BACKEND; see
+// docs/performance.md, "Multi-process sweeps and work stealing"):
+//   * kThread (default) — jobs run on pool threads in this address space.
+//   * kProcess — each job executes in a forked child and ships its report
+//     back over a pipe (exp/process_pool.hpp, frieda/report_io.hpp).  A
+//     child that SIGSEGVs, aborts, exits nonzero, or truncates its frame
+//     becomes *that job's* error outcome; every other job completes.  The
+//     deserialized report is field-identical to the in-process one (doubles
+//     cross the pipe as bit patterns), so CSVs stay byte-identical across
+//     backends.  Requires a ReportCodec for the result type (RunReport and
+//     RtReport today); otherwise the runner warns and uses threads.
+//     Parent-side hooks baked into a job's closure (tracer, metrics,
+//     arrange hooks mutating captured state) take effect in the *child's*
+//     copy of the address space: the report is the only thing shipped back.
+//
+// Work stealing: both backends dispatch through per-worker deques dealt in
+// schedule order; an idle worker steals the front half of the fattest
+// victim's backlog (`rt::MpmcQueue::try_pop_half`), so a skewed grid cannot
+// strand workers behind a few long deques.  Steal batches are counted in
+// the `sweep.steals` metric.  Stealing moves whole jobs before they start —
+// outcome slots and per-job seeds never change, only which worker runs what.
 //
 // Scheduling (see docs/performance.md, "Memoization and cost-aware
 // scheduling"):
@@ -44,13 +66,16 @@
 //     other jobs still run to completion.  Failed runs are never cached.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,6 +83,7 @@
 #include "common/error.hpp"
 #include "common/hash.hpp"
 #include "exp/calibrate.hpp"
+#include "exp/process_pool.hpp"
 #include "exp/result_cache.hpp"
 #include "frieda/report.hpp"
 #include "obs/metrics.hpp"
@@ -70,16 +96,38 @@ namespace frieda::exp {
 /// job keeps its seed when other jobs are added before or after it.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
 
+/// Execution substrate for sweep jobs (see the header comment).
+enum class SweepBackend {
+  kThread,   ///< pool threads in this address space
+  kProcess,  ///< one forked child per job, outcome shipped over a pipe
+};
+
+/// Render a backend name ("thread" / "process").
+const char* to_string(SweepBackend backend);
+
 /// Pool configuration for one sweep.
 struct SweepOptions {
   /// Worker threads; 0 = auto (the FRIEDA_SWEEP_THREADS environment
   /// variable if set and valid, else std::thread::hardware_concurrency()).
   /// The pool never spawns more threads than there are jobs to execute.
+  /// Under the process backend this is the number of concurrent children
+  /// (each managed by one parent thread).
   std::size_t threads = 0;
 
   /// Opt-out for memoization: when false the runner never consults or fills
   /// a result cache and every job executes, duplicates included.
   bool memoize = true;
+
+  /// Execution backend; nullopt = auto (the FRIEDA_SWEEP_BACKEND
+  /// environment variable when it is exactly "thread" or "process" — a typo
+  /// warns and falls back — else thread).
+  std::optional<SweepBackend> backend;
+
+  /// Opt-out for steal-half dispatch (benchmarks and tests only): when
+  /// false each worker runs exactly its dealt share of the schedule and
+  /// idles when it's done — the stranding behavior stealing eliminates.
+  /// Results are identical either way; only the idle tail differs.
+  bool steal = true;
 };
 
 namespace detail {
@@ -94,13 +142,28 @@ constexpr long kMaxSweepThreads = 4096;
 /// and logs.
 std::size_t parse_threads_env(const char* text);
 
-/// Run `body(i)` for every i in `indices` on `threads` pool threads, handing
-/// indices to workers in the given order (the dispatch schedule).  Returns
-/// one error string per *position in `indices`* (empty = the call returned
-/// normally); a throwing body never takes down the pool or other indices.
-std::vector<std::string> run_indexed(const std::vector<std::size_t>& indices,
-                                     std::size_t threads,
-                                     const std::function<void(std::size_t)>& body);
+/// Parse a FRIEDA_SWEEP_BACKEND value.  Exact-match "thread" / "process"
+/// only; anything else (including case or whitespace variants) is nullopt —
+/// the caller warns and falls back to thread.
+std::optional<SweepBackend> parse_backend_env(const char* text);
+
+/// Resolve SweepOptions::backend against the environment and the result
+/// type's codec availability.  A process request without a codec (or an
+/// invalid FRIEDA_SWEEP_BACKEND) warns and resolves to thread.
+SweepBackend resolve_backend(std::optional<SweepBackend> requested, bool codec_available);
+
+/// Run `body(i)` for every i in `indices` on `threads` pool workers with
+/// steal-half dispatch: positions are dealt round-robin in `indices` order
+/// onto per-worker deques, and an idle worker steals the front half of the
+/// fattest victim's backlog (disabled when `steal` is false — static
+/// partition).  Returns one error string per *position in `indices`*
+/// (empty = the call returned normally); a throwing body never takes down
+/// the pool or other indices.  `steals_out`, when non-null, receives the
+/// number of successful steal batches.
+std::vector<std::string> run_stealing(const std::vector<std::size_t>& indices,
+                                      std::size_t threads,
+                                      const std::function<void(std::size_t)>& body,
+                                      bool steal, std::uint64_t* steals_out);
 
 /// Resolve SweepOptions::threads against the environment, the hardware and
 /// the job count (always >= 1 for a non-empty batch).  Invalid
@@ -111,6 +174,25 @@ std::size_t resolve_threads(std::size_t requested, std::size_t jobs);
 /// Dispatch order for the given cost estimates: indices sorted by
 /// descending cost, ties keeping submission order (stable).
 std::vector<std::size_t> longest_first(const std::vector<double>& costs);
+
+/// One-time wiring of FRIEDA_RESULT_CACHE_FILE onto the process-global
+/// ResultCache<R>: attach the wire codec, load the checkpoint.  No-op for
+/// result types without a codec or when the variable is unset/empty.
+template <typename R>
+void wire_global_cache_persistence() {
+  if constexpr (ReportCodec<R>::kAvailable) {
+    static std::once_flag once;
+    std::call_once(once, [] {
+      const char* env = std::getenv("FRIEDA_RESULT_CACHE_FILE");
+      if (env == nullptr || *env == '\0') return;
+      auto& cache = ResultCache<R>::global();
+      cache.set_persistence(
+          env, [](const R& r) { return ReportCodec<R>::serialize(r); },
+          [](const std::string& text) { return ReportCodec<R>::deserialize(text); });
+      cache.load_file(env);
+    });
+  }
+}
 
 }  // namespace detail
 
@@ -193,7 +275,15 @@ class SweepRunner {
     for (std::size_t i = 0; i < n; ++i) out[i].tag = jobs[i].tag;
     runs_requested_ = n;
     cache_hits_ = 0;
+    child_crashes_ = 0;
+    steals_ = 0;
     schedule_.clear();
+    backend_used_ = detail::resolve_backend(opt_.backend, ReportCodec<R>::kAvailable);
+
+    // Cross-process persistence: when FRIEDA_RESULT_CACHE_FILE names a
+    // checkpoint, the global cache loads it before the first lookup (once
+    // per process) and run() saves it back on completion below.
+    detail::wire_global_cache_persistence<R>();
 
     // Phase 1 — memoization: serve cache hits, collapse in-batch duplicates
     // onto one primary, collect the jobs that must actually execute.
@@ -237,6 +327,8 @@ class SweepRunner {
     auto& hits_ctr = metrics_.counter("sweep.cache_hits");
     auto& executed_ctr = metrics_.counter("sweep.runs_executed");
     auto& evicted_ctr = metrics_.counter("sweep.cache_evictions");
+    auto& crashes_ctr = metrics_.counter("sweep.child_crashes");
+    auto& steals_ctr = metrics_.counter("sweep.steals");
     auto& in_flight = metrics_.gauge("sweep.in_flight");
     auto& wall_per_job = metrics_.stats("sweep.wall_per_job_s");
 
@@ -260,7 +352,8 @@ class SweepRunner {
     double done_cost = 0.0;                // guarded by metrics_mutex_
 
     const auto t0 = std::chrono::steady_clock::now();
-    auto errors = detail::run_indexed(schedule_, threads_used_, [&](std::size_t i) {
+    std::atomic<std::uint64_t> crash_count{0};
+    const std::function<void(std::size_t)> body = [&](std::size_t i) {
       const auto j0 = std::chrono::steady_clock::now();
       {
         std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -310,8 +403,37 @@ class SweepRunner {
         }
       } done{this,     in_flight,    completed,    wall_per_job, j0,         t0,
              progress, jobs[i].cost, &job_wall[i], served,       &done_jobs, &done_cost};
+      if constexpr (ReportCodec<R>::kAvailable) {
+        if (backend_used_ == SweepBackend::kProcess) {
+          // Fork: the child runs fn() in its copy of the address space and
+          // ships the serialized report back.  Any way the child can die
+          // becomes this job's error outcome (counted as a crash); an 'E'
+          // frame is the job's own exception, rethrown with the same what()
+          // the thread backend would have recorded.
+          const auto& fn = jobs[i].fn;
+          const ForkOutcome fo =
+              run_in_child([&fn] { return ReportCodec<R>::serialize(fn()); });
+          if (!fo.delivered) {
+            crash_count.fetch_add(1, std::memory_order_relaxed);
+            throw FriedaError(fo.crash);
+          }
+          if (!fo.ok) throw std::runtime_error(fo.payload);
+          try {
+            out[i].value.emplace(ReportCodec<R>::deserialize(fo.payload));
+          } catch (...) {
+            // A frame that parses as neither report nor error is as good as
+            // a crash: count it, surface the decode failure as the outcome.
+            crash_count.fetch_add(1, std::memory_order_relaxed);
+            throw;
+          }
+          return;
+        }
+      }
       out[i].value.emplace(jobs[i].fn());
-    });
+    };
+    auto errors =
+        detail::run_stealing(schedule_, threads_used_, body, opt_.steal, &steals_);
+    child_crashes_ = crash_count.load();
     wall_seconds_ = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     for (std::size_t p = 0; p < schedule_.size(); ++p) {
       out[schedule_[p]].error = std::move(errors[p]);
@@ -325,6 +447,10 @@ class SweepRunner {
           cache->insert(*jobs[i].fingerprint, *out[i].value);
         }
       }
+      // Sweep completion checkpoint: a cache with FRIEDA_RESULT_CACHE_FILE
+      // persistence attached writes itself back atomically, so the next
+      // process (or a re-run after an interrupt) starts from these cells.
+      cache->save_if_persistent();
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (!twin_of[i].has_value()) continue;
@@ -355,6 +481,8 @@ class SweepRunner {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       hits_ctr.inc(cache_hits_);
       executed_ctr.inc(runs_executed_);
+      crashes_ctr.inc(child_crashes_);
+      steals_ctr.inc(steals_);
       if (cache != nullptr) evicted_ctr.inc(cache->evictions() - evictions_before);
     }
     if (progress != nullptr) progress->finish(n, n, wall_seconds_);
@@ -379,6 +507,20 @@ class SweepRunner {
   /// plus in-batch duplicates collapsed onto an executing twin.
   std::size_t cache_hits() const { return cache_hits_; }
 
+  /// Backend the last run() resolved to (after the environment override and
+  /// the codec-availability fallback).  kThread before the first run.
+  SweepBackend backend_used() const { return backend_used_; }
+
+  /// Forked children of the last run() that died without delivering a
+  /// result (fatal signal, nonzero exit, truncated or undecodable frame).
+  /// Always 0 under the thread backend.
+  std::uint64_t child_crashes() const { return child_crashes_; }
+
+  /// Steal batches of the last run(): times an idle worker took the front
+  /// half of another worker's backlog.  0 with opt.steal == false, with a
+  /// single worker, and for perfectly balanced dispatch.
+  std::uint64_t steals() const { return steals_; }
+
   /// Dispatch order of the last run(): the executed jobs' ids, longest
   /// estimated cost first (ties in submission order).  Exposed so tests can
   /// assert the schedule decision without timing assumptions.
@@ -400,6 +542,9 @@ class SweepRunner {
   std::size_t runs_requested_ = 0;
   std::size_t runs_executed_ = 0;
   std::size_t cache_hits_ = 0;
+  SweepBackend backend_used_ = SweepBackend::kThread;
+  std::uint64_t child_crashes_ = 0;
+  std::uint64_t steals_ = 0;
   std::vector<std::size_t> schedule_;
   obs::MetricsRegistry metrics_;
   std::mutex metrics_mutex_;

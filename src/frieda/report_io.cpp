@@ -1,0 +1,314 @@
+#include "frieda/report_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "runtime/rt_engine.hpp"
+
+namespace frieda::core {
+
+namespace {
+
+constexpr const char* kRunHeader = "frieda-run-report v1";
+constexpr const char* kRtHeader = "frieda-rt-report v1";
+
+void append_hex(std::string& out, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) out += digits[(v >> shift) & 0xf];
+}
+
+// Strict unsigned parse: decimal digits only, full consumption, no sign.
+std::optional<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty() || s.size() > 20) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return std::nullopt;
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+std::optional<bool> parse_bool01(const std::string& s) {
+  if (s == "0") return false;
+  if (s == "1") return true;
+  return std::nullopt;
+}
+
+// Line cursor over the serialized text; every getter throws on truncation,
+// so a child that died mid-write surfaces as a parse error, not garbage.
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : in_(text) {}
+
+  std::string next(const char* what) {
+    std::string line;
+    FRIEDA_CHECK(static_cast<bool>(std::getline(in_, line)),
+                 "truncated report: missing " << what);
+    return line;
+  }
+
+  // Next line split into fields; checks the record tag and field count.
+  std::vector<std::string> record(const char* tag, std::size_t fields) {
+    const std::string line = next(tag);
+    auto parts = split_escaped(line);
+    FRIEDA_CHECK(parts.has_value(), "malformed report line '" << line << "'");
+    FRIEDA_CHECK(parts->size() == fields && (*parts)[0] == tag,
+                 "expected " << fields << "-field '" << tag << "' record, got '" << line
+                             << "'");
+    return std::move(*parts);
+  }
+
+ private:
+  std::istringstream in_;
+};
+
+double require_f64(const std::string& field) {
+  const auto v = parse_f64_bits(field);
+  FRIEDA_CHECK(v.has_value(), "malformed f64 field '" << field << "'");
+  return *v;
+}
+
+std::uint64_t require_u64(const std::string& field) {
+  const auto v = parse_u64(field);
+  FRIEDA_CHECK(v.has_value(), "malformed integer field '" << field << "'");
+  return *v;
+}
+
+bool require_bool(const std::string& field) {
+  const auto v = parse_bool01(field);
+  FRIEDA_CHECK(v.has_value(), "malformed bool field '" << field << "' (want 0/1)");
+  return *v;
+}
+
+}  // namespace
+
+std::string escape_field(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\|"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::string>> split_escaped(const std::string& line) {
+  std::vector<std::string> parts(1);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\\') {
+      if (i + 1 >= line.size()) return std::nullopt;
+      const char next = line[++i];
+      switch (next) {
+        case '\\': parts.back() += '\\'; break;
+        case '|': parts.back() += '|'; break;
+        case 'n': parts.back() += '\n'; break;
+        default: return std::nullopt;
+      }
+    } else if (c == '|') {
+      parts.emplace_back();
+    } else {
+      parts.back() += c;
+    }
+  }
+  return parts;
+}
+
+std::string f64_bits(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  std::string out;
+  out.reserve(16);
+  append_hex(out, bits);
+  return out;
+}
+
+std::optional<double> parse_f64_bits(const std::string& s) {
+  if (s.size() != 16) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    else return std::nullopt;
+    bits = (bits << 4) | digit;
+  }
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string serialize_run_report(const RunReport& r) {
+  std::ostringstream os;
+  os << kRunHeader << "\n";
+  os << "size|" << r.units.size() << "|" << r.workers.size() << "|"
+     << r.timeline.intervals().size() << "|" << r.latency.count() << "\n";
+  os << "head|" << escape_field(r.app) << "|" << escape_field(r.strategy) << "|"
+     << escape_field(r.scheme) << "\n";
+  os << "time|" << f64_bits(r.ready_time) << "|" << f64_bits(r.start_time) << "|"
+     << f64_bits(r.staging_end) << "|" << f64_bits(r.end_time) << "\n";
+  os << "units|" << r.units_total << "|" << r.units_completed << "|" << r.units_failed
+     << "|" << r.units_unprocessed << "\n";
+  os << "net|" << r.bytes_moved << "|" << r.transfers << "|" << r.workers_isolated << "\n";
+  os << "svc|" << (r.open_loop ? 1 : 0) << "|" << f64_bits(r.serve_start) << "|"
+     << r.scale_outs << "|" << r.scale_ins << "\n";
+  for (const double s : r.latency.samples()) os << "l|" << f64_bits(s) << "\n";
+  for (const auto& u : r.units) {
+    os << "u|" << u.unit << "|" << static_cast<int>(u.status) << "|" << u.worker << "|"
+       << u.attempts << "|" << f64_bits(u.arrival) << "|" << f64_bits(u.dispatched) << "|"
+       << f64_bits(u.finished) << "|" << f64_bits(u.transfer_seconds) << "|"
+       << f64_bits(u.exec_seconds) << "\n";
+  }
+  for (const auto& w : r.workers) {
+    os << "w|" << w.worker << "|" << w.vm << "|" << w.slot << "|" << w.units_completed
+       << "|" << f64_bits(w.busy_seconds) << "|" << (w.isolated ? 1 : 0) << "|"
+       << (w.drained ? 1 : 0) << "\n";
+  }
+  for (const auto& iv : r.timeline.intervals()) {
+    os << "i|" << static_cast<int>(iv.kind) << "|" << f64_bits(iv.start) << "|"
+       << f64_bits(iv.end) << "|" << escape_field(iv.label) << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+RunReport deserialize_run_report(const std::string& text) {
+  LineReader in(text);
+  FRIEDA_CHECK(in.next("header") == kRunHeader,
+               "not a serialized run report (want '" << kRunHeader << "' header)");
+  const auto size = in.record("size", 5);
+  const std::size_t n_units = require_u64(size[1]);
+  const std::size_t n_workers = require_u64(size[2]);
+  const std::size_t n_intervals = require_u64(size[3]);
+  const std::size_t n_latency = require_u64(size[4]);
+
+  RunReport r;
+  const auto head = in.record("head", 4);
+  r.app = head[1];
+  r.strategy = head[2];
+  r.scheme = head[3];
+  const auto time = in.record("time", 5);
+  r.ready_time = require_f64(time[1]);
+  r.start_time = require_f64(time[2]);
+  r.staging_end = require_f64(time[3]);
+  r.end_time = require_f64(time[4]);
+  const auto units = in.record("units", 5);
+  r.units_total = require_u64(units[1]);
+  r.units_completed = require_u64(units[2]);
+  r.units_failed = require_u64(units[3]);
+  r.units_unprocessed = require_u64(units[4]);
+  const auto net = in.record("net", 4);
+  r.bytes_moved = require_u64(net[1]);
+  r.transfers = require_u64(net[2]);
+  r.workers_isolated = require_u64(net[3]);
+  const auto svc = in.record("svc", 5);
+  r.open_loop = require_bool(svc[1]);
+  r.serve_start = require_f64(svc[2]);
+  r.scale_outs = require_u64(svc[3]);
+  r.scale_ins = require_u64(svc[4]);
+
+  for (std::size_t i = 0; i < n_latency; ++i) {
+    r.latency.add(require_f64(in.record("l", 2)[1]));
+  }
+  r.units.reserve(n_units);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const auto u = in.record("u", 10);
+    UnitRecord rec;
+    rec.unit = static_cast<WorkUnitId>(require_u64(u[1]));
+    const std::uint64_t status = require_u64(u[2]);
+    FRIEDA_CHECK(status <= static_cast<std::uint64_t>(UnitStatus::kUnprocessed),
+                 "unknown unit status " << status);
+    rec.status = static_cast<UnitStatus>(status);
+    rec.worker = static_cast<WorkerId>(require_u64(u[3]));
+    rec.attempts = static_cast<int>(require_u64(u[4]));
+    rec.arrival = require_f64(u[5]);
+    rec.dispatched = require_f64(u[6]);
+    rec.finished = require_f64(u[7]);
+    rec.transfer_seconds = require_f64(u[8]);
+    rec.exec_seconds = require_f64(u[9]);
+    r.units.push_back(rec);
+  }
+  r.workers.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    const auto w = in.record("w", 8);
+    WorkerReport rec;
+    rec.worker = static_cast<WorkerId>(require_u64(w[1]));
+    rec.vm = static_cast<std::uint32_t>(require_u64(w[2]));
+    rec.slot = static_cast<unsigned>(require_u64(w[3]));
+    rec.units_completed = require_u64(w[4]);
+    rec.busy_seconds = require_f64(w[5]);
+    rec.isolated = require_bool(w[6]);
+    rec.drained = require_bool(w[7]);
+    r.workers.push_back(rec);
+  }
+  for (std::size_t i = 0; i < n_intervals; ++i) {
+    const auto iv = in.record("i", 5);
+    const std::uint64_t kind = require_u64(iv[1]);
+    FRIEDA_CHECK(kind <= static_cast<std::uint64_t>(ActivityKind::kStage),
+                 "unknown activity kind " << kind);
+    r.timeline.record(static_cast<ActivityKind>(kind), require_f64(iv[2]),
+                      require_f64(iv[3]), iv[4]);
+  }
+  FRIEDA_CHECK(in.next("end marker") == "end", "truncated report: missing end marker");
+  return r;
+}
+
+std::string serialize_rt_report(const rt::RtReport& r) {
+  std::ostringstream os;
+  os << kRtHeader << "\n";
+  os << "size|" << r.units.size() << "|" << r.per_worker_completed.size() << "\n";
+  os << "sum|" << f64_bits(r.makespan) << "|" << f64_bits(r.staging_seconds) << "|"
+     << r.units_completed << "|" << r.units_failed << "|" << r.bytes_staged << "\n";
+  for (const auto& u : r.units) {
+    os << "u|" << u.unit << "|" << u.worker << "|" << (u.ok ? 1 : 0) << "|"
+       << f64_bits(u.transfer_seconds) << "|" << f64_bits(u.exec_seconds) << "\n";
+  }
+  for (const std::size_t c : r.per_worker_completed) os << "pw|" << c << "\n";
+  os << "end\n";
+  return os.str();
+}
+
+rt::RtReport deserialize_rt_report(const std::string& text) {
+  LineReader in(text);
+  FRIEDA_CHECK(in.next("header") == kRtHeader,
+               "not a serialized rt report (want '" << kRtHeader << "' header)");
+  const auto size = in.record("size", 3);
+  const std::size_t n_units = require_u64(size[1]);
+  const std::size_t n_workers = require_u64(size[2]);
+
+  rt::RtReport r;
+  const auto sum = in.record("sum", 6);
+  r.makespan = require_f64(sum[1]);
+  r.staging_seconds = require_f64(sum[2]);
+  r.units_completed = require_u64(sum[3]);
+  r.units_failed = require_u64(sum[4]);
+  r.bytes_staged = require_u64(sum[5]);
+  r.units.reserve(n_units);
+  for (std::size_t i = 0; i < n_units; ++i) {
+    const auto u = in.record("u", 6);
+    rt::RtUnitRecord rec;
+    rec.unit = static_cast<WorkUnitId>(require_u64(u[1]));
+    rec.worker = static_cast<WorkerId>(require_u64(u[2]));
+    rec.ok = require_bool(u[3]);
+    rec.transfer_seconds = require_f64(u[4]);
+    rec.exec_seconds = require_f64(u[5]);
+    r.units.push_back(rec);
+  }
+  r.per_worker_completed.reserve(n_workers);
+  for (std::size_t i = 0; i < n_workers; ++i) {
+    r.per_worker_completed.push_back(require_u64(in.record("pw", 2)[1]));
+  }
+  FRIEDA_CHECK(in.next("end marker") == "end", "truncated report: missing end marker");
+  return r;
+}
+
+}  // namespace frieda::core

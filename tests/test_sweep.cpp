@@ -3,13 +3,19 @@
 // exception isolation, memoization (fingerprint stability, cache hit/miss
 // correctness, in-batch dedup, global cross-grid cache), cost-aware
 // longest-first scheduling, FRIEDA_SWEEP_THREADS validation, ScenarioSweep
-// lifecycle, runner metrics, and concurrent create-or-get on shared
+// lifecycle, runner metrics, concurrent create-or-get on shared
 // MetricsRegistry / ResultCache instances (the tests the tsan preset
-// exists for).
+// exists for), backend selection (FRIEDA_SWEEP_BACKEND), the fork-based
+// process backend (identical results, crash isolation), steal-half
+// dispatch, and result-cache persistence (FRIEDA_RESULT_CACHE_FILE).
 #include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -296,12 +302,13 @@ TEST(Sweep, InBatchDuplicatesExecuteOnce) {
 }
 
 TEST(Sweep, AdHocJobsAreNeverCached) {
+  // Backend-agnostic by design: under the process backend the job body runs
+  // in a forked child, so execution is asserted through the runner's
+  // counters, not a parent-side flag the child could never touch.
   ResultCache<core::RunReport> cache;
-  std::atomic<int> calls{0};
-  auto make_jobs = [&] {
+  auto make_jobs = [] {
     Grid grid;
-    grid.add("adhoc", [&calls] {
-      ++calls;
+    grid.add("adhoc", [] {
       core::RunReport r;
       r.app = "adhoc";
       return r;
@@ -311,8 +318,9 @@ TEST(Sweep, AdHocJobsAreNeverCached) {
   SweepRunner<> runner;
   runner.set_cache(&cache);
   (void)runner.run(make_jobs());
+  EXPECT_EQ(runner.runs_executed(), 1u);
   (void)runner.run(make_jobs());
-  EXPECT_EQ(calls.load(), 2);  // executed both times
+  EXPECT_EQ(runner.runs_executed(), 1u);  // executed again, not served
   EXPECT_EQ(runner.cache_hits(), 0u);
   EXPECT_EQ(cache.size(), 0u);  // never entered the cache
 }
@@ -1063,6 +1071,441 @@ TEST(CalibratorPersistence, SweepCompletionSavesWhenPathAttached) {
 
   cal.set_persist_path("");  // detach
   EXPECT_FALSE(cal.save_if_persistent());
+}
+
+// ---------------------------------------------------------------------------
+// Backend selection (SweepOptions::backend, FRIEDA_SWEEP_BACKEND).
+// ---------------------------------------------------------------------------
+
+TEST(Backend, EnvParserIsExactMatchOnly) {
+  EXPECT_EQ(detail::parse_backend_env(nullptr), std::nullopt);
+  EXPECT_EQ(detail::parse_backend_env(""), std::nullopt);
+  EXPECT_EQ(detail::parse_backend_env("thread"), SweepBackend::kThread);
+  EXPECT_EQ(detail::parse_backend_env("process"), SweepBackend::kProcess);
+  for (const char* bad :
+       {"Thread", "PROCESS", " process", "process ", "fork", "threads", "1"}) {
+    EXPECT_EQ(detail::parse_backend_env(bad), std::nullopt)
+        << "'" << bad << "' must not select a backend";
+  }
+}
+
+TEST(Backend, ResolutionPrecedenceAndFallbacks) {
+  ASSERT_EQ(unsetenv("FRIEDA_SWEEP_BACKEND"), 0);
+  EXPECT_EQ(detail::resolve_backend(std::nullopt, true), SweepBackend::kThread);
+  EXPECT_EQ(detail::resolve_backend(SweepBackend::kProcess, true), SweepBackend::kProcess);
+  // Codec-less result types always run on threads, even when asked not to.
+  EXPECT_EQ(detail::resolve_backend(SweepBackend::kProcess, false), SweepBackend::kThread);
+
+  ASSERT_EQ(setenv("FRIEDA_SWEEP_BACKEND", "process", 1), 0);
+  EXPECT_EQ(detail::resolve_backend(std::nullopt, true), SweepBackend::kProcess);
+  EXPECT_EQ(detail::resolve_backend(std::nullopt, false), SweepBackend::kThread);
+  // An explicit option wins over the environment.
+  EXPECT_EQ(detail::resolve_backend(SweepBackend::kThread, true), SweepBackend::kThread);
+
+  // A typo warns and falls back to thread instead of guessing.
+  ASSERT_EQ(setenv("FRIEDA_SWEEP_BACKEND", "Process", 1), 0);
+  EXPECT_EQ(detail::resolve_backend(std::nullopt, true), SweepBackend::kThread);
+  ASSERT_EQ(unsetenv("FRIEDA_SWEEP_BACKEND"), 0);
+}
+
+TEST(Backend, CodeclessRunnerFallsBackToThreadAndStillRuns) {
+  SweepOptions opt;
+  opt.backend = SweepBackend::kProcess;
+  SweepRunner<int> runner(opt);  // int has no ReportCodec
+  runner.set_cache(nullptr);
+  std::vector<Job<int>> jobs;
+  jobs.push_back({"one", [] { return 7; }});
+  const auto out = runner.run(std::move(jobs));
+  EXPECT_EQ(out[0].get(), 7);
+  EXPECT_EQ(runner.backend_used(), SweepBackend::kThread);
+  EXPECT_EQ(runner.child_crashes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fork plumbing (exp/process_pool.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(ProcessPool, RunInChildShipsResultsErrorsAndCrashes) {
+  const auto ok = run_in_child([] { return std::string("payload"); });
+  EXPECT_TRUE(ok.delivered);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.payload, "payload");
+
+  const auto err =
+      run_in_child([]() -> std::string { throw std::runtime_error("child says no"); });
+  EXPECT_TRUE(err.delivered);
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.payload, "child says no");
+
+  const auto aborted = run_in_child([]() -> std::string { std::abort(); });
+  EXPECT_FALSE(aborted.delivered);
+  EXPECT_NE(aborted.crash.find("signal"), std::string::npos) << aborted.crash;
+
+  const auto exited = run_in_child([]() -> std::string { ::_exit(9); });
+  EXPECT_FALSE(exited.delivered);
+  EXPECT_NE(exited.crash.find("status 9"), std::string::npos) << exited.crash;
+}
+
+TEST(ProcessPool, ReadFrameRejectsTruncationAndGarbageLengths) {
+  // Declared length outlives the writer: a crash mid-payload.
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    const unsigned char header[8] = {16, 0, 0, 0, 0, 0, 0, 0};
+    ASSERT_EQ(::write(fds[1], header, 8), 8);
+    ASSERT_EQ(::write(fds[1], "Rab", 3), 3);
+    ::close(fds[1]);
+    char status = 0;
+    std::string payload;
+    EXPECT_FALSE(detail::read_frame(fds[0], status, payload));
+    ::close(fds[0]);
+  }
+  // A zero or absurd declared length is a corrupted stream, not a request
+  // to allocate gigabytes.
+  for (const unsigned char fill : {static_cast<unsigned char>(0),
+                                   static_cast<unsigned char>(0xff)}) {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    unsigned char header[8];
+    for (auto& b : header) b = fill;
+    ASSERT_EQ(::write(fds[1], header, 8), 8);
+    ::close(fds[1]);
+    char status = 0;
+    std::string payload;
+    EXPECT_FALSE(detail::read_frame(fds[0], status, payload));
+    ::close(fds[0]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Process backend: identical results, isolated crashes.
+// ---------------------------------------------------------------------------
+
+TEST(ProcessBackend, MatchesThreadBackendFieldIdentically) {
+  SweepOptions topt{2};
+  topt.backend = SweepBackend::kThread;
+  SweepOptions popt{2};
+  popt.backend = SweepBackend::kProcess;
+  SweepRunner<> threads(topt);
+  SweepRunner<> procs(popt);
+  threads.set_cache(nullptr);
+  procs.set_cache(nullptr);
+  const auto a = threads.run(scenario_jobs());
+  const auto b = procs.run(scenario_jobs());
+  EXPECT_EQ(procs.backend_used(), SweepBackend::kProcess);
+  EXPECT_EQ(procs.child_crashes(), 0u);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_TRUE(a[i].ok()) << a[i].error;
+    ASSERT_TRUE(b[i].ok()) << b[i].error;
+    EXPECT_EQ(a[i].tag, b[i].tag);
+    expect_reports_equal(a[i].get(), b[i].get());
+  }
+}
+
+TEST(ProcessBackend, CrashedChildrenAreIsolatedJobOutcomes) {
+  // Thread-backend reference for the healthy cells.
+  SweepOptions topt{2};
+  topt.backend = SweepBackend::kThread;
+  SweepRunner<> ref(topt);
+  ref.set_cache(nullptr);
+  const auto healthy = ref.run(scenario_jobs());
+
+  // The same grid plus four saboteurs.  These run in forked children, so
+  // the violent deaths below never touch this process.
+  auto jobs = scenario_jobs();
+  jobs.push_back({"segv", []() -> core::RunReport {
+                    std::raise(SIGSEGV);
+                    return {};
+                  }});
+  jobs.push_back({"abort", []() -> core::RunReport { std::abort(); }});
+  jobs.push_back({"exit7", []() -> core::RunReport { ::_exit(7); }});
+  jobs.push_back({"throws", []() -> core::RunReport {
+                    throw std::runtime_error("child says no");
+                  }});
+
+  SweepOptions popt{2};
+  popt.backend = SweepBackend::kProcess;
+  SweepRunner<> runner(popt);
+  runner.set_cache(nullptr);
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_EQ(out.size(), healthy.size() + 4);
+  for (std::size_t i = 0; i < healthy.size(); ++i) {
+    ASSERT_TRUE(out[i].ok()) << out[i].error;
+    expect_reports_equal(out[i].get(), healthy[i].get());
+  }
+  const auto& segv = out[healthy.size()];
+  const auto& aborted = out[healthy.size() + 1];
+  const auto& exited = out[healthy.size() + 2];
+  const auto& threw = out[healthy.size() + 3];
+  // Bare metal reports the fatal signal; a sanitizer runtime intercepts
+  // the fault and turns it into a nonzero exit.  Both are crash outcomes.
+  const auto looks_like_crash = [](const std::string& error) {
+    return error.find("signal") != std::string::npos ||
+           error.find("status") != std::string::npos;
+  };
+  EXPECT_FALSE(segv.ok());
+  EXPECT_TRUE(looks_like_crash(segv.error)) << segv.error;
+  EXPECT_FALSE(aborted.ok());
+  EXPECT_TRUE(looks_like_crash(aborted.error)) << aborted.error;
+  EXPECT_FALSE(exited.ok());
+  EXPECT_NE(exited.error.find("status 7"), std::string::npos) << exited.error;
+  // A thrown exception is the job's own error — same what() the thread
+  // backend records — not a crash.
+  EXPECT_FALSE(threw.ok());
+  EXPECT_EQ(threw.error, "child says no");
+  EXPECT_EQ(runner.child_crashes(), 3u);
+  const auto* crashes = runner.metrics().find_counter("sweep.child_crashes");
+  ASSERT_NE(crashes, nullptr);
+  EXPECT_EQ(crashes->value(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Steal-half dispatch.
+// ---------------------------------------------------------------------------
+
+TEST(Stealing, SkewedGridStealsWithIdenticalResults) {
+  auto make_jobs = [] {
+    std::vector<Job<std::size_t>> jobs;
+    // One long pole plus many quick cells.  The cost stamps pin the
+    // longest-first schedule, so the pole is dealt to worker 0 with half the
+    // quick cells queued behind it.
+    jobs.push_back({"pole",
+                    [] {
+                      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+                      return std::size_t{1000};
+                    },
+                    std::nullopt, 100.0});
+    for (std::size_t i = 0; i < 12; ++i) {
+      jobs.push_back({"quick" + std::to_string(i), [i] { return i; }, std::nullopt, 1.0});
+    }
+    return jobs;
+  };
+
+  SweepRunner<std::size_t> stealing(SweepOptions{2});
+  const auto stolen = stealing.run(make_jobs());
+  // Worker 1 drains its dealt half in microseconds while the pole sleeps,
+  // so it must have stolen from behind the pole at least once.
+  EXPECT_GT(stealing.steals(), 0u);
+  const auto* steals_ctr = stealing.metrics().find_counter("sweep.steals");
+  ASSERT_NE(steals_ctr, nullptr);
+  EXPECT_EQ(steals_ctr->value(), stealing.steals());
+
+  SweepOptions pinned{2};
+  pinned.steal = false;
+  SweepRunner<std::size_t> stranded(pinned);
+  const auto kept = stranded.run(make_jobs());
+  EXPECT_EQ(stranded.steals(), 0u);
+
+  SweepRunner<std::size_t> seq(SweepOptions{1});
+  const auto serial = seq.run(make_jobs());
+
+  ASSERT_EQ(stolen.size(), kept.size());
+  ASSERT_EQ(stolen.size(), serial.size());
+  for (std::size_t i = 0; i < stolen.size(); ++i) {
+    EXPECT_EQ(stolen[i].tag, kept[i].tag);
+    EXPECT_EQ(stolen[i].get(), kept[i].get());
+    EXPECT_EQ(stolen[i].get(), serial[i].get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result-cache persistence (FRIEDA_RESULT_CACHE_FILE).
+// ---------------------------------------------------------------------------
+
+std::string temp_cache_path(const char* name) {
+  return std::string(testing::TempDir()) + "/" + name;
+}
+
+int decode_int_strict(const std::string& s) {
+  std::size_t used = 0;
+  const int v = std::stoi(s, &used);
+  if (used != s.size()) throw std::runtime_error("trailing junk in payload");
+  return v;
+}
+
+void attach_int_codec(ResultCache<int>& cache, const std::string& path) {
+  cache.set_persistence(path, [](const int& v) { return std::to_string(v); },
+                        decode_int_strict);
+}
+
+TEST(ResultCachePersistence, SaveThenLoadRoundTrips) {
+  const auto path = temp_cache_path("frieda_cache_roundtrip.txt");
+  std::remove(path.c_str());
+  StableHasher ha;
+  StableHasher hb;
+  const auto ka = ha.mix_str("cell-a").digest();
+  const auto kb = hb.mix_str("cell-b").digest();
+
+  ResultCache<int> writer;
+  EXPECT_FALSE(writer.save_if_persistent());  // no path attached -> no-op
+  attach_int_codec(writer, path);
+  EXPECT_EQ(writer.persist_path(), path);
+  writer.insert(ka, 17);
+  writer.insert(kb, 42);
+  ASSERT_TRUE(writer.save_if_persistent());
+  struct stat st;
+  EXPECT_NE(::stat(path.c_str(), &st), -1);
+  EXPECT_EQ(::stat((path + ".tmp").c_str(), &st), -1)
+      << "atomic save must not leave a temp file behind";
+
+  ResultCache<int> reader;
+  attach_int_codec(reader, path);
+  ASSERT_TRUE(reader.load_file(path));
+  EXPECT_EQ(reader.size(), 2u);
+  EXPECT_EQ(reader.lookup(ka).value(), 17);
+  EXPECT_EQ(reader.lookup(kb).value(), 42);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, InProcessEntriesWinOverFileEntries) {
+  const auto path = temp_cache_path("frieda_cache_merge.txt");
+  StableHasher ha;
+  StableHasher hb;
+  const auto ka = ha.mix_str("cell-a").digest();
+  const auto kb = hb.mix_str("cell-b").digest();
+  ResultCache<int> writer;
+  attach_int_codec(writer, path);
+  writer.insert(ka, 1);
+  writer.insert(kb, 2);
+  ASSERT_TRUE(writer.save_if_persistent());
+
+  ResultCache<int> reader;
+  attach_int_codec(reader, path);
+  reader.insert(ka, 99);  // fresher in-process value
+  ASSERT_TRUE(reader.load_file(path));
+  EXPECT_EQ(reader.lookup(ka).value(), 99);  // in-process wins
+  EXPECT_EQ(reader.lookup(kb).value(), 2);   // file seeds the rest
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, MalformedEntriesAreSkippedNotTrusted) {
+  const auto path = temp_cache_path("frieda_cache_malformed.txt");
+  StableHasher hg;
+  StableHasher hbad;
+  const auto good = hg.mix_str("good").digest();
+  const auto undecodable = hbad.mix_str("undecodable").digest();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("frieda-result-cache v1\n", f);
+    std::fprintf(f, "%s 2\n42\n", good.to_hex().c_str());
+    std::fputs("zz not-an-entry\n", f);  // malformed meta line
+    std::fprintf(f, "%s 5\nhello\n", undecodable.to_hex().c_str());  // bad payload
+    std::fclose(f);
+  }
+  ResultCache<int> cache;
+  attach_int_codec(cache, path);
+  EXPECT_TRUE(cache.load_file(path));  // something valid was loaded
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup(good).value(), 42);
+  EXPECT_FALSE(cache.lookup(undecodable).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, WrongHeaderIsRejectedEntirely) {
+  const auto path = temp_cache_path("frieda_cache_header.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("frieda-result-cache v999\n", f);
+    std::fclose(f);
+  }
+  ResultCache<int> cache;
+  attach_int_codec(cache, path);
+  EXPECT_FALSE(cache.load_file(path));
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ResultCachePersistence, MissingFileIsAQuietColdStart) {
+  ResultCache<int> cache;
+  EXPECT_FALSE(cache.load_file(temp_cache_path("frieda_cache_nonexistent.txt")));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ResultCachePersistence, SweepCompletionCheckpointsTheCache) {
+  const auto path = temp_cache_path("frieda_cache_sweep.txt");
+  std::remove(path.c_str());
+  ResultCache<int> cache;
+  attach_int_codec(cache, path);
+  StableHasher h;
+  const auto fp = h.mix_str("sweep-cell").digest();
+  SweepRunner<int> runner(SweepOptions{1});
+  runner.set_cache(&cache);
+  std::vector<Job<int>> jobs;
+  jobs.push_back({"cell", [] { return 123; }, fp});
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_TRUE(out[0].ok());
+
+  // run() checkpointed on completion: a fresh cache reloads the cell.
+  ResultCache<int> reloaded;
+  attach_int_codec(reloaded, path);
+  ASSERT_TRUE(reloaded.load_file(path));
+  EXPECT_EQ(reloaded.lookup(fp).value(), 123);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+
+// A test-only result type with its own wire codec: exercises the
+// FRIEDA_RESULT_CACHE_FILE wiring on a fresh once_flag without touching the
+// global RunReport/RtReport caches other tests share.
+struct WireProbe {
+  int v = 0;
+};
+
+template <>
+struct ReportCodec<WireProbe> {
+  static constexpr bool kAvailable = true;
+  static std::string serialize(const WireProbe& p) { return std::to_string(p.v); }
+  static WireProbe deserialize(const std::string& s) {
+    std::size_t used = 0;
+    const int v = std::stoi(s, &used);
+    if (used != s.size()) throw std::runtime_error("bad probe payload");
+    return WireProbe{v};
+  }
+};
+
+namespace {
+
+TEST(ResultCachePersistence, EnvVariableWiresTheGlobalCache) {
+  const auto path = temp_cache_path("frieda_cache_env.txt");
+  std::remove(path.c_str());
+  StableHasher h;
+  const auto fp = h.mix_str("env-cell").digest();
+  {
+    // Seed the checkpoint from a disposable cache with the same codec.
+    ResultCache<WireProbe> seed;
+    seed.set_persistence(
+        path, [](const WireProbe& p) { return ReportCodec<WireProbe>::serialize(p); },
+        [](const std::string& s) { return ReportCodec<WireProbe>::deserialize(s); });
+    seed.insert(fp, WireProbe{7});
+    ASSERT_TRUE(seed.save_if_persistent());
+  }
+
+  ASSERT_EQ(setenv("FRIEDA_RESULT_CACHE_FILE", path.c_str(), 1), 0);
+  // First sweep over this result type: run() wires the process-global cache
+  // from the environment and loads the checkpoint before the first lookup.
+  std::atomic<int> executed{0};
+  SweepRunner<WireProbe> runner(SweepOptions{1});
+  std::vector<Job<WireProbe>> jobs;
+  jobs.push_back({"env-cell", [&executed]() -> WireProbe {
+                    ++executed;
+                    return WireProbe{999};
+                  },
+                  fp});
+  const auto out = runner.run(std::move(jobs));
+  ASSERT_TRUE(out[0].ok());
+  EXPECT_EQ(out[0].get().v, 7);  // served from the loaded checkpoint
+  EXPECT_TRUE(out[0].from_cache);
+  EXPECT_EQ(executed.load(), 0);
+  EXPECT_EQ(ResultCache<WireProbe>::global().persist_path(), path);
+
+  ASSERT_EQ(unsetenv("FRIEDA_RESULT_CACHE_FILE"), 0);
+  ResultCache<WireProbe>::global().set_persistence("", nullptr, nullptr);
+  ResultCache<WireProbe>::global().clear();
+  std::remove(path.c_str());
 }
 
 }  // namespace
