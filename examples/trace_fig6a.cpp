@@ -7,13 +7,19 @@
 //   * trace_fig6a.json — Chrome trace-event JSON, loadable in Perfetto /
 //     chrome://tracing (each unit is a lane in the "units" track);
 //   * trace_fig6a.csv  — the same events as a flat CSV for ad-hoc analysis;
-//   * metrics_fig6a.csv — named counters/gauges/stats from the run.
+//   * metrics_fig6a.csv — named counters/gauges/stats from the run;
+//   * timeline_fig6a.csv — the live telemetry series (channel,t_s,value)
+//     sampled by a TelemetryProbe on a 2 s sim-clock interval.  The same
+//     samples land in the JSON as Chrome counter events, so Perfetto shows
+//     counter tracks interleaved with the spans and `frieda-trace timeline
+//     trace_fig6a.json` renders per-channel sparklines from them.
 //
 // Usage: trace_fig6a [scale]   (default scale 0.05; 1.0 = paper size)
 #include <cstdio>
 #include <cstdlib>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "workload/scenarios.hpp"
 
@@ -30,23 +36,32 @@ int main(int argc, char** argv) {
 
   obs::Tracer tracer;
   obs::MetricsRegistry metrics;
+  obs::TelemetryOptions topt;
+  topt.interval = 2.0;
+  topt.slo.push_back({"queue_depth", 64.0});
+  obs::TelemetryProbe probe(topt);
 
   workload::PaperScenarioOptions opt;
   opt.scale = scale;
   opt.tracer = &tracer;
   opt.metrics = &metrics;
+  opt.telemetry = &probe;
   const auto report = workload::run_als(PlacementStrategy::kRealTime, opt);
   report.fill_metrics(metrics);
 
   std::printf("%s", report.summary().c_str());
-  std::printf("\nrecorded %zu trace events (%zu unit spans, %zu flow spans)\n",
-              tracer.event_count(), tracer.span_count("unit"), tracer.span_count("flow"));
+  std::printf("\nrecorded %zu trace events (%zu unit spans, %zu flow spans), "
+              "%zu telemetry samples over %zu ticks\n",
+              tracer.event_count(), tracer.span_count("unit"), tracer.span_count("flow"),
+              probe.series().sample_count(), probe.tick_count());
+  std::printf("%s", probe.slo().summary().c_str());
 
   tracer.write_chrome_json("trace_fig6a.json");
   tracer.write_csv("trace_fig6a.csv");
   metrics.write_csv("metrics_fig6a.csv");
+  probe.write_timeline_csv("timeline_fig6a.csv");
   std::printf("wrote trace_fig6a.json (open in Perfetto), trace_fig6a.csv, "
-              "metrics_fig6a.csv\n");
+              "metrics_fig6a.csv, timeline_fig6a.csv\n");
   std::printf("\nmetrics:\n%s", metrics.summary().c_str());
   return report.all_completed() ? 0 : 1;
 }

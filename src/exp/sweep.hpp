@@ -341,10 +341,14 @@ class SweepRunner {
       env_progress = obs::ProgressReporter::from_env();
       progress = env_progress.get();
     }
+    // batch_cost sums *scheduled* jobs only — cache hits' and twins' weight
+    // is subtracted up front, and `served` removes them from the reporter's
+    // count fallback, so a duplicate-heavy grid's ETA tracks the jobs that
+    // actually execute instead of the memoized ones completing at zero cost.
     double batch_cost = 0.0;
     for (const std::size_t i : schedule_) batch_cost += jobs[i].cost;
     const std::size_t served = n - schedule_.size();  // cache hits + twins
-    if (progress != nullptr) progress->begin(n, batch_cost);
+    if (progress != nullptr) progress->begin(n, batch_cost, served);
 
     const std::uint64_t evictions_before = cache != nullptr ? cache->evictions() : 0;
     std::vector<double> job_wall(n, 0.0);  // per-job wall seconds; each job owns its slot

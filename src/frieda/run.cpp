@@ -8,6 +8,7 @@
 #include "frieda/assignment.hpp"
 #include "frieda/partition.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "sim/sync.hpp"
 
@@ -88,6 +89,7 @@ FriedaRun::FriedaRun(cluster::VirtualCluster& cluster, const storage::FileCatalo
       cluster_.on_running([this](cluster::VmId vm) { events_->try_send(EvVmRunning{vm}); });
 
   tracer_ = options_.tracer;
+  telemetry_ = options_.telemetry;
   if (tracer_) {
     trace_born_.assign(units_.size(), 0.0);
     trace_pending_.assign(units_.size(), 0.0);
@@ -483,6 +485,9 @@ sim::Task<> FriedaRun::master_main() {
     sim_.spawn(arrival_pump(), "arrival-pump");
     if (options_.elastic_policy.enabled) sim_.spawn(elastic_main(), "elastic-policy");
   }
+  // Live telemetry samples from serving start (both modes): the probe's
+  // epoch began at run(), but gauges only move once the farm is live.
+  if (telemetry_ != nullptr && !finished_) sim_.spawn(telemetry_main(), "telemetry-probe");
 
   // Kick off the farm: commit assignments up to each worker's credit limit.
   top_up_all();
@@ -771,6 +776,9 @@ void FriedaRun::unit_terminal(WorkUnitId unit, UnitStatus status) {
   rec.finished = sim_.now();
   if (open_loop() && status == UnitStatus::kCompleted) {
     latency_.add(rec.finished - rec.arrival);  // sojourn: arrival -> completion
+    if (telemetry_ != nullptr) {
+      telemetry_->observe_latency(rec.finished, rec.finished - rec.arrival);
+    }
   }
   trace_terminal(rec);
   ++terminal_count_;
@@ -1085,6 +1093,42 @@ sim::Task<> FriedaRun::elastic_main() {
   }
 }
 
+obs::TelemetryTick FriedaRun::telemetry_tick_now() const {
+  obs::TelemetryTick t;
+  t.queue_depth = static_cast<double>(queue_.size());
+  std::size_t in_flight = 0;
+  std::size_t live = 0;
+  std::size_t completed = 0;
+  std::set<cluster::VmId> vms;
+  for (const auto& ws : workers_) {
+    in_flight += ws->unacked;
+    completed += ws->completed;
+    if (worker_live(*ws)) {
+      ++live;
+      vms.insert(ws->vm);
+    }
+  }
+  t.in_flight = static_cast<double>(in_flight);
+  t.active_workers = static_cast<double>(live);
+  t.active_vms = static_cast<double>(vms.size());
+  t.completed = static_cast<double>(completed);
+  t.net_solves = static_cast<double>(cluster_.network().solver_invocations() - solves_baseline_);
+  t.scale_outs = static_cast<double>(scale_outs_);
+  t.scale_ins = static_cast<double>(scale_ins_);
+  return t;
+}
+
+sim::Task<> FriedaRun::telemetry_main() {
+  // Sample the attached probe every interval of simulation time until the
+  // run finishes; run() adds the final sample at end_time_ itself.
+  const SimTime interval = telemetry_->interval();
+  while (!finished_) {
+    co_await sim_.delay(interval);
+    if (finished_) co_return;
+    telemetry_->tick(sim_.now(), telemetry_tick_now());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Data staging
 // ---------------------------------------------------------------------------
@@ -1369,6 +1413,7 @@ RunReport FriedaRun::run() {
   dirty_classes_baseline_ = cluster_.network().solver_dirty_classes();
   cluster_.network().set_tracer(tracer_);
   cluster_.network().set_metrics(options_.metrics);
+  if (telemetry_ != nullptr) telemetry_->begin(sim_.now(), tracer_);
 
   sim_.spawn(master_main(), "master");
   sim_.spawn(controller_main(), "controller");
@@ -1414,6 +1459,13 @@ RunReport FriedaRun::run() {
   report.scale_outs = scale_outs_;
   report.scale_ins = scale_ins_;
 
+  if (telemetry_ != nullptr) {
+    // Final sample at the run's end (a no-op when a scheduled tick already
+    // landed there), then evaluate SLO targets over the recorded series.
+    telemetry_->tick(end_time_, telemetry_tick_now());
+    telemetry_->finish(end_time_);
+  }
+
   if (tracer_) {
     // Run-window anchor for trace analytics (obs::TraceAnalyzer): one span
     // covering exactly the reported makespan [ready_time_, end_time_], so
@@ -1451,6 +1503,13 @@ RunReport FriedaRun::run() {
       ev.args.push_back({"latency_p95", std::to_string(report.latency_p(95.0))});
       ev.args.push_back({"latency_p99", std::to_string(report.latency_p(99.0))});
       ev.args.push_back({"sustained_tput", std::to_string(report.sustained_throughput())});
+    }
+    if (telemetry_ != nullptr && !telemetry_->options().slo.empty()) {
+      // SLO totals, so frieda-trace can headline time-in-violation without
+      // re-deriving it from the breach spans.
+      const auto& slo = telemetry_->slo();
+      ev.args.push_back({"slo_breaches", std::to_string(slo.total_breaches())});
+      ev.args.push_back({"slo_violation_s", obs::format_sample(slo.total_violation_s())});
     }
     tracer_->span(std::move(ev));
   }

@@ -45,6 +45,8 @@
 namespace frieda::obs {
 class Counter;
 class MetricsRegistry;
+class TelemetryProbe;
+struct TelemetryTick;
 class Tracer;
 }  // namespace frieda::obs
 
@@ -107,6 +109,12 @@ struct RunOptions {
   obs::MetricsRegistry* metrics = nullptr;  ///< opt-in named counters
                                       ///< (requeues, evictions, solver
                                       ///< invocations, ...); nullptr = off
+  obs::TelemetryProbe* telemetry = nullptr;  ///< opt-in live telemetry: the
+                                      ///< probe is ticked on its interval in
+                                      ///< simulation time from serving start
+                                      ///< to run end (queue depth, in-flight,
+                                      ///< windowed latency percentiles, ...);
+                                      ///< nullptr = off, zero cost
   std::vector<SimTime> arrivals;      ///< open-loop service mode: one offset
                                       ///< per unit (seconds after serving
                                       ///< starts, ascending); units enter the
@@ -215,6 +223,10 @@ class FriedaRun {
   sim::Task<> worker_main(WorkerId id);
   sim::Task<> arrival_pump();   ///< open-loop: inject units at their offsets
   sim::Task<> elastic_main();   ///< queue-depth-reactive scale-out/in
+  sim::Task<> telemetry_main(); ///< tick the attached probe on its interval
+  /// Snapshot the raw telemetry gauges at sim-now (queue depth, in-flight,
+  /// live workers/VMs, cumulative completions/solves/scale events).
+  obs::TelemetryTick telemetry_tick_now() const;
   sim::Task<> staging();
   sim::Task<> stage_files_to_node(cluster::VmId vm, std::vector<storage::FileId> files);
   sim::Task<> stage_common_data(cluster::VmId vm);
@@ -352,6 +364,7 @@ class FriedaRun {
   // the counters are resolved once from options_.metrics in the constructor,
   // and the per-unit timestamps back the pending/unit lifecycle spans.
   obs::Tracer* tracer_ = nullptr;
+  obs::TelemetryProbe* telemetry_ = nullptr;  ///< mirrors options_.telemetry
   struct {
     obs::Counter* requeues = nullptr;
     obs::Counter* evictions = nullptr;

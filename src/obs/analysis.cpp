@@ -306,6 +306,26 @@ TraceAnalysis TraceAnalyzer::analyze(const std::vector<TraceEvent>& events) {
             out.sustained_tput = std::strtod(tput->value.c_str(), nullptr);
           }
         }
+        if (const auto* sb = find_arg(ev, "slo_breaches")) {
+          out.slo_stats = true;
+          out.slo_breach_count = std::strtoull(sb->value.c_str(), nullptr, 10);
+          if (const auto* sv = find_arg(ev, "slo_violation_s")) {
+            out.slo_violation_s = std::strtod(sv->value.c_str(), nullptr);
+          }
+        }
+      }
+      if (ev.cat == "slo") {
+        SloBreach breach;
+        breach.start = ev.start;
+        breach.end = ev.end;
+        if (const auto* ch = find_arg(ev, "channel")) breach.channel = ch->value;
+        if (const auto* lim = find_arg(ev, "limit")) {
+          breach.limit = std::strtod(lim->value.c_str(), nullptr);
+        }
+        if (const auto* peak = find_arg(ev, "peak")) {
+          breach.peak = std::strtod(peak->value.c_str(), nullptr);
+        }
+        out.telemetry.breaches.push_back(std::move(breach));
       }
       if (ev.process == kWorkerTrack && (ev.cat == "exec" || ev.cat == "staging")) {
         worker_ids.insert(ev.track);
@@ -318,6 +338,13 @@ TraceAnalysis TraceAnalyzer::analyze(const std::vector<TraceEvent>& events) {
             }
           }
         }
+      }
+    } else if (ev.kind == TraceEvent::Kind::kCounter) {
+      // TelemetryProbe counters: one channel per event, the single arg
+      // carries the sampled value as a decimal that re-parses exactly.
+      if (ev.cat == "telemetry" && !ev.args.empty()) {
+        out.telemetry.series.add(ev.name, ev.start,
+                                 std::strtod(ev.args.front().value.c_str(), nullptr));
       }
     } else if (ev.name == "trace-truncated") {
       if (const auto* d = find_arg(ev, "dropped_events")) {
@@ -406,6 +433,27 @@ std::string render_report(const TraceAnalysis& a, std::size_t max_path_rows) {
        << fmt("%.3f", a.latency_p95) << " s, p99 " << fmt("%.3f", a.latency_p99)
        << " s (sustained " << fmt("%.3f", a.sustained_tput) << " units/s)\n";
   }
+  if (!a.telemetry.series.empty()) {
+    os << "Telemetry: " << a.telemetry.series.channels().size() << " channels, "
+       << a.telemetry.series.sample_count()
+       << " samples (see `frieda-trace timeline` for sparklines)\n";
+  }
+  if (a.slo_stats || !a.telemetry.breaches.empty()) {
+    const std::size_t n =
+        a.slo_stats ? a.slo_breach_count : a.telemetry.breaches.size();
+    double violation = a.slo_violation_s;
+    if (!a.slo_stats) {
+      for (const auto& b : a.telemetry.breaches) violation += b.duration();
+    }
+    os << "SLO: " << n << " breach interval" << (n == 1 ? "" : "s") << ", "
+       << fmt("%.3f", violation) << " s in violation\n";
+    for (const auto& b : a.telemetry.breaches) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "  [%10.3f .. %10.3f] %9.3f s  %s > %g (peak %g)\n",
+                    b.start, b.end, b.duration(), b.channel.c_str(), b.limit, b.peak);
+      os << line;
+    }
+  }
 
   const double ws = a.worker_seconds();
   const auto share = [&](double v) {
@@ -484,6 +532,76 @@ std::string critical_path_csv(const TraceAnalysis& a) {
     os << i << "," << (seg.wait ? "wait" : "span") << "," << seg.cat << "," << name << ","
        << seg.process << "," << seg.track << "," << seg.start << "," << seg.end << ","
        << seg.duration() << "\n";
+  }
+  return os.str();
+}
+
+std::string render_timeline(const TraceAnalysis& a, std::size_t width) {
+  std::ostringstream os;
+  const auto& view = a.telemetry;
+  if (view.empty()) {
+    os << "Timeline: no telemetry counters in this trace (run without a "
+          "TelemetryProbe attached)\n";
+    return os.str();
+  }
+  if (width == 0) width = 1;
+
+  os << "Timeline: " << view.series.channels().size() << " channels, "
+     << view.series.sample_count() << " samples over ["
+     << fmt("%.3f", a.run_start) << " s .. " << fmt("%.3f", a.run_end) << " s]\n";
+
+  // One printable level per value: lowest -> ' ', highest -> '@'.
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // max ramp index
+
+  TextTable table("Telemetry channels",
+                  {"Channel", "Samples", "Min", "Mean", "Max", "Last", "Sparkline"});
+  for (const auto& ch : view.series.channels()) {
+    const std::size_t n = ch.v.size();
+    double lo = ch.v[0], hi = ch.v[0], sum = 0.0;
+    for (const double v : ch.v) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      sum += v;
+    }
+    // Resample to at most `width` columns: each column is the mean of an
+    // equal share of consecutive samples.
+    const std::size_t cols = std::min(n, width);
+    std::string spark;
+    spark.reserve(cols);
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t b0 = c * n / cols;
+      const std::size_t b1 = std::max(b0 + 1, (c + 1) * n / cols);
+      double bucket = 0.0;
+      for (std::size_t i = b0; i < b1; ++i) bucket += ch.v[i];
+      bucket /= static_cast<double>(b1 - b0);
+      const std::size_t level =
+          hi > lo ? static_cast<std::size_t>((bucket - lo) / (hi - lo) * kLevels + 0.5)
+                  : kLevels / 2;
+      spark.push_back(kRamp[std::min(level, kLevels)]);
+    }
+    table.add_row({ch.name, std::to_string(n), fmt("%.6g", lo),
+                   fmt("%.6g", sum / static_cast<double>(n)), fmt("%.6g", hi),
+                   fmt("%.6g", ch.v[n - 1]), spark});
+  }
+  os << table.to_string();
+
+  if (!view.breaches.empty() || a.slo_stats) {
+    double violation = a.slo_violation_s;
+    if (!a.slo_stats) {
+      for (const auto& b : view.breaches) violation += b.duration();
+    }
+    os << "SLO breaches: " << view.breaches.size() << " interval"
+       << (view.breaches.size() == 1 ? "" : "s") << ", " << fmt("%.3f", violation)
+       << " s in violation\n";
+    for (const auto& b : view.breaches) {
+      char line[192];
+      std::snprintf(line, sizeof(line), "  [%10.3f .. %10.3f] %9.3f s  %s > %g (peak %g)\n",
+                    b.start, b.end, b.duration(), b.channel.c_str(), b.limit, b.peak);
+      os << line;
+    }
+  } else {
+    os << "SLO breaches: none recorded\n";
   }
   return os.str();
 }
@@ -690,6 +808,9 @@ std::vector<TraceEvent> load_chrome_trace(const std::string& json_text) {
       ev.kind = TraceEvent::Kind::kSpan;
       const auto* dur = rec.find("dur");
       ev.end = ev.start + (dur != nullptr ? dur->number / 1e6 : 0.0);
+    } else if (ph->str == "C") {
+      ev.kind = TraceEvent::Kind::kCounter;
+      ev.end = ev.start;
     } else {
       ev.kind = TraceEvent::Kind::kInstant;
       ev.end = ev.start;

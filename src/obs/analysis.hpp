@@ -42,9 +42,20 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace frieda::obs {
+
+/// Sampled telemetry recovered from a trace: the counter events (cat
+/// "telemetry", one channel per event) regrouped into a Timeseries, plus
+/// any SLO breach spans (cat "slo") the probe emitted at finish().
+struct TelemetryView {
+  Timeseries series;
+  std::vector<SloBreach> breaches;
+
+  bool empty() const { return series.empty() && breaches.empty(); }
+};
 
 /// The four attribution buckets; every worker-second lands in exactly one.
 enum class TimeCategory { kCompute, kTransfer, kStaging, kIdle };
@@ -151,6 +162,16 @@ struct TraceAnalysis {
   double latency_p99 = 0.0;
   double sustained_tput = 0.0;    ///< completions per second while serving
 
+  // Live telemetry sampled while the run was in flight (a TelemetryProbe
+  // was attached).  Empty for untelemetered traces.
+  TelemetryView telemetry;
+
+  // SLO totals from the anchor span's slo_breaches / slo_violation_s args
+  // (present when the probe had declared targets).
+  bool slo_stats = false;
+  std::uint64_t slo_breach_count = 0;
+  double slo_violation_s = 0.0;
+
   // Critical path, chronological.  The segments tile [run_start, run_end]:
   // their durations sum to makespan() up to float tolerance.
   std::vector<PathSegment> critical_path;
@@ -193,9 +214,14 @@ std::string gantt_csv(const TraceAnalysis& analysis);
 /// Critical-path CSV: segment,kind,cat,name,process,track,start_s,end_s,dur_s.
 std::string critical_path_csv(const TraceAnalysis& analysis);
 
+/// Timeline report from the recovered TelemetryView: per-channel stats with
+/// ascii sparklines, followed by SLO breach intervals.  `width` is the
+/// sparkline column budget.
+std::string render_timeline(const TraceAnalysis& analysis, std::size_t width = 60);
+
 /// Parse an exported Chrome trace-event JSON document (the format
-/// Tracer::chrome_json writes: complete "X" spans, "i" instants, "M"
-/// metadata records, microsecond timestamps) back into events with
+/// Tracer::chrome_json writes: complete "X" spans, "i" instants, "C"
+/// counters, "M" metadata records, microsecond timestamps) back into events with
 /// timestamps in seconds.  Metadata records are skipped.  Throws FriedaError
 /// on malformed input.
 std::vector<TraceEvent> load_chrome_trace(const std::string& json_text);

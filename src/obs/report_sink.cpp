@@ -29,10 +29,12 @@ std::string human_eta(double seconds) {
 
 ProgressReporter::ProgressReporter(ProgressOptions options) : options_(std::move(options)) {}
 
-void ProgressReporter::begin(std::size_t total_jobs, double total_cost) {
+void ProgressReporter::begin(std::size_t total_jobs, double total_cost,
+                             std::size_t served_jobs) {
   std::lock_guard<std::mutex> lock(mutex_);
   total_jobs_ = total_jobs;
   total_cost_ = total_cost;
+  served_jobs_ = served_jobs <= total_jobs ? served_jobs : total_jobs;
   last_print_elapsed_ = -1.0;
 }
 
@@ -49,12 +51,17 @@ void ProgressReporter::update(std::size_t completed, std::size_t in_flight,
   os << options_.label << ": [" << completed << "/" << total_jobs_ << "] " << in_flight
      << " in flight";
   // Cost-weighted ETA when the grid had cost estimates and some cost has
-  // completed; otherwise fall back to the plain job-count rate.
+  // completed; otherwise fall back to the job-count rate over the *real*
+  // jobs only.  Memoized jobs (served_jobs_) finish instantly: counting
+  // them at full weight would let a duplicate-heavy grid's ETA collapse
+  // toward zero while its few real jobs have barely started.
+  const std::size_t real_total = total_jobs_ - served_jobs_;
+  const std::size_t real_done = completed > served_jobs_ ? completed - served_jobs_ : 0;
   double done_frac = 0.0;
   if (total_cost_ > 0.0 && completed_cost > 0.0) {
     done_frac = completed_cost / total_cost_;
-  } else if (total_jobs_ > 0 && completed > 0) {
-    done_frac = static_cast<double>(completed) / static_cast<double>(total_jobs_);
+  } else if (real_total > 0 && real_done > 0) {
+    done_frac = static_cast<double>(real_done) / static_cast<double>(real_total);
   }
   if (done_frac > 0.0 && done_frac < 1.0 && elapsed_s > 0.0) {
     os << ", eta " << human_eta(elapsed_s * (1.0 - done_frac) / done_frac);

@@ -43,12 +43,20 @@ struct ProgressOptions {
 /// (remaining-cost / observed cost-rate), falling back to job counts —
 /// so a grid whose longest jobs were dispatched first (the runner's
 /// longest-first order) does not wildly overestimate near the end.
+/// Memoized jobs carry no weight on either path: the runner subtracts
+/// cache hits' cost from `total_cost` before `begin`, and `served_jobs`
+/// removes them from the count fallback — a duplicate-heavy grid's ETA
+/// reflects only the jobs that actually execute.
 class ProgressReporter {
  public:
   explicit ProgressReporter(ProgressOptions options = {});
 
   /// Announce a starting batch.  Resets per-batch state; prints nothing.
-  void begin(std::size_t total_jobs, double total_cost);
+  /// `served_jobs` counts jobs already complete at batch start (result-cache
+  /// hits and in-batch twins): they are included in `total_jobs` for the
+  /// `[done/total]` display but excluded from the ETA rate, since finishing
+  /// instantly says nothing about how fast the real jobs run.
+  void begin(std::size_t total_jobs, double total_cost, std::size_t served_jobs = 0);
 
   /// Report progress; prints at most once per `min_interval_s`.
   /// `completed_cost` is the summed cost estimate of finished jobs (0 when
@@ -88,6 +96,7 @@ class ProgressReporter {
   mutable std::mutex mutex_;
   std::size_t total_jobs_ = 0;
   double total_cost_ = 0.0;
+  std::size_t served_jobs_ = 0;  ///< memoized jobs: zero weight in the ETA
   double last_print_elapsed_ = -1.0;  ///< elapsed_s of the last printed update
   std::size_t lines_ = 0;
 };

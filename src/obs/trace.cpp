@@ -49,6 +49,7 @@ const char* process_name(std::uint32_t pid) {
     case kWorkerTrack: return "workers";
     case kUnitTrack: return "units";
     case kNetworkTrack: return "network";
+    case kTelemetryTrack: return "telemetry";
   }
   return "other";
 }
@@ -80,6 +81,17 @@ void Tracer::span(TraceEvent ev) {
 
 void Tracer::instant(TraceEvent ev) {
   ev.kind = TraceEvent::Kind::kInstant;
+  ev.end = ev.start;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (at_cap()) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::counter(TraceEvent ev) {
+  ev.kind = TraceEvent::Kind::kCounter;
   ev.end = ev.start;
   std::lock_guard<std::mutex> lock(mutex_);
   if (at_cap()) {
@@ -158,6 +170,8 @@ std::string Tracer::chrome_json() const {
     if (ev.kind == TraceEvent::Kind::kSpan) {
       out += ",\"ph\":\"X\",\"dur\":";
       out += std::to_string(micros(ev.end) - micros(ev.start));
+    } else if (ev.kind == TraceEvent::Kind::kCounter) {
+      out += ",\"ph\":\"C\"";
     } else {
       out += ",\"ph\":\"i\",\"s\":\"t\"";
     }
@@ -167,7 +181,10 @@ std::string Tracer::chrome_json() const {
         if (i) out += ",";
         out += json_quote(ev.args[i].key);
         out += ":";
-        out += json_quote(ev.args[i].value);
+        // Counter channel values are JSON numbers (viewers reject quoted
+        // counter values); everything else stays a quoted string.
+        if (ev.kind == TraceEvent::Kind::kCounter) out += ev.args[i].value;
+        else out += json_quote(ev.args[i].value);
       }
       out += "}";
     }
@@ -202,7 +219,10 @@ std::string Tracer::csv() const {
       if (i) args += ";";
       args += ev.args[i].key + "=" + ev.args[i].value;
     }
-    os << (ev.kind == TraceEvent::Kind::kSpan ? "span" : "instant") << ","
+    const char* kind = ev.kind == TraceEvent::Kind::kSpan      ? "span"
+                       : ev.kind == TraceEvent::Kind::kCounter ? "counter"
+                                                               : "instant";
+    os << kind << ","
        << csv_field(ev.name) << "," << csv_field(ev.cat) << "," << ev.process << ","
        << ev.track << "," << ev.start << "," << ev.end << "," << (ev.end - ev.start) << ","
        << csv_field(args) << "\n";

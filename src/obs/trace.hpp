@@ -26,6 +26,7 @@ enum TrackGroup : std::uint32_t {
   kWorkerTrack = 2,   ///< per-worker staging/execution spans (tid = worker id)
   kUnitTrack = 3,     ///< per-unit lifecycle spans (tid = unit id)
   kNetworkTrack = 4,  ///< per-transfer flow spans (tid = destination node)
+  kTelemetryTrack = 5,  ///< sampled telemetry counters (tid = 0)
 };
 
 /// One key/value annotation on an event ("args" in the trace-event format).
@@ -34,9 +35,10 @@ struct TraceArg {
   std::string value;
 };
 
-/// One recorded event: a [start, end) span, or an instant when end == start.
+/// One recorded event: a [start, end) span, an instant when end == start, or
+/// a sampled counter (args hold numeric channel values at time `start`).
 struct TraceEvent {
-  enum class Kind { kSpan, kInstant };
+  enum class Kind { kSpan, kInstant, kCounter };
   Kind kind = Kind::kSpan;
   std::string name;
   std::string cat;                    ///< category: "unit", "pending",
@@ -65,6 +67,11 @@ class Tracer {
 
   /// Record an instantaneous event at `ev.start` (`end` is ignored).
   void instant(TraceEvent ev);
+
+  /// Record a counter sample at `ev.start`.  Each arg is one channel whose
+  /// value must format as a JSON number ("%.17g"); the Chrome exporter emits
+  /// a "C" event so viewers render the args as stacked counter tracks.
+  void counter(TraceEvent ev);
 
   /// Cap the number of stored events (0 = unbounded).  Lowering the cap
   /// does not discard already-recorded events; it only stops new ones.

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "common/error.hpp"
@@ -14,6 +16,7 @@
 #include "frieda/assignment.hpp"
 #include "frieda/protocol.hpp"
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "runtime/mpmc_queue.hpp"
 #include "runtime/token_bucket.hpp"
@@ -135,6 +138,44 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
   report.per_worker_completed.assign(n_workers, 0);
   std::atomic<std::uint64_t> bytes_staged{0};
 
+  // ---- live telemetry (wall clock) ----
+  // The probe runs on a dedicated sampling thread; the master loop feeds the
+  // shared gauges through atomics (all updates guarded by `probe` so a
+  // detached run pays nothing).  "Latency" here is a unit's dispatch ->
+  // terminal wall time — the threaded runtime has no arrival process yet.
+  obs::TelemetryProbe* const probe = options_.telemetry;
+  std::atomic<std::size_t> tl_undispatched{units.size()};
+  std::atomic<std::size_t> tl_dispatched{0};
+  std::atomic<std::size_t> tl_done{0};
+  std::atomic<std::size_t> tl_completed{0};
+  std::atomic<std::size_t> tl_released{0};
+  const auto telemetry_snapshot = [&] {
+    obs::TelemetryTick t;
+    t.queue_depth = static_cast<double>(tl_undispatched.load(std::memory_order_relaxed));
+    const auto disp = tl_dispatched.load(std::memory_order_relaxed);
+    const auto done = tl_done.load(std::memory_order_relaxed);
+    t.in_flight = disp > done ? static_cast<double>(disp - done) : 0.0;
+    const auto rel = std::min(n_workers, tl_released.load(std::memory_order_relaxed));
+    t.active_workers = static_cast<double>(n_workers - rel);
+    t.active_vms = 1.0;  // one host machine
+    t.completed = static_cast<double>(tl_completed.load(std::memory_order_relaxed));
+    return t;
+  };
+  std::mutex sampler_mutex;
+  std::condition_variable sampler_cv;
+  bool sampler_stop = false;
+  std::thread sampler;
+  if (probe != nullptr) {
+    probe->begin(0.0, tracer);
+    sampler = std::thread([&] {
+      const std::chrono::duration<double> period(probe->interval());
+      std::unique_lock<std::mutex> lock(sampler_mutex);
+      while (!sampler_cv.wait_for(lock, period, [&] { return sampler_stop; })) {
+        probe->tick(seconds_since(t0), telemetry_snapshot());
+      }
+    });
+  }
+
   // Worker staging directories.
   std::vector<fs::path> worker_dirs(n_workers);
   if (!local) {
@@ -252,7 +293,7 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     }
   }
 
-  std::vector<double> dispatched_at(tracer ? units.size() : 0, 0.0);
+  std::vector<double> dispatched_at(tracer || probe ? units.size() : 0, 0.0);
 
   const auto dispatch = [&](std::size_t w) {
     core::WorkUnitId unit;
@@ -265,7 +306,11 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
       unit = preassigned[w].front();
       preassigned[w].pop_front();
     }
-    if (tracer) dispatched_at[unit] = seconds_since(t0);
+    if (tracer || probe) dispatched_at[unit] = seconds_since(t0);
+    if (probe) {
+      tl_undispatched.fetch_sub(1, std::memory_order_relaxed);
+      tl_dispatched.fetch_add(1, std::memory_order_relaxed);
+    }
     core::AssignWork work;
     work.unit = units[unit];
     work.command = command.bind_unit(units[unit], catalog_,
@@ -281,6 +326,7 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     if (!released[w]) {
       worker_inboxes[w]->push(core::NoMoreWork{});
       released[w] = true;
+      if (probe) tl_released.fetch_add(1, std::memory_order_relaxed);
       if (tracer) {
         obs::TraceEvent ev;
         ev.kind = obs::TraceEvent::Kind::kInstant;
@@ -328,6 +374,12 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     } else {
       ++report.units_failed;
     }
+    if (probe) {
+      tl_done.fetch_add(1, std::memory_order_relaxed);
+      if (status.ok) tl_completed.fetch_add(1, std::memory_order_relaxed);
+      const double now = seconds_since(t0);
+      probe->observe_latency(now, now - dispatched_at[status.unit]);
+    }
     if (tracer) {
       obs::TraceEvent ev;
       ev.name = "unit " + std::to_string(status.unit);
@@ -348,6 +400,18 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
   report.makespan = seconds_since(t0);
   report.bytes_staged = bytes_staged.load();
 
+  if (probe != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(sampler_mutex);
+      sampler_stop = true;
+    }
+    sampler_cv.notify_all();
+    sampler.join();
+    // Final sample at the makespan, then evaluate SLO targets.
+    probe->tick(report.makespan, telemetry_snapshot());
+    probe->finish(report.makespan);
+  }
+
   if (tracer) {
     // Run-window anchor for trace analytics (obs::TraceAnalyzer): one span
     // covering the reported makespan, on the same wall clock as every other
@@ -360,6 +424,11 @@ RtReport RtEngine::run(std::vector<core::WorkUnit> units, const core::CommandTem
     ev.start = 0.0;
     ev.end = report.makespan;
     ev.args = {{"workers", std::to_string(n_workers)}};
+    if (probe != nullptr && !probe->options().slo.empty()) {
+      const auto& slo = probe->slo();
+      ev.args.push_back({"slo_breaches", std::to_string(slo.total_breaches())});
+      ev.args.push_back({"slo_violation_s", obs::format_sample(slo.total_violation_s())});
+    }
     tracer->span(std::move(ev));
   }
 

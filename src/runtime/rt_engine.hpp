@@ -26,6 +26,7 @@
 
 namespace frieda::obs {
 class MetricsRegistry;
+class TelemetryProbe;
 class Tracer;
 }  // namespace frieda::obs
 
@@ -43,6 +44,11 @@ struct RtOptions {
   obs::Tracer* tracer = nullptr;  ///< opt-in wall-clock tracing (timestamps
                                   ///< are seconds since run start); nullptr
                                   ///< disables every tap
+  obs::TelemetryProbe* telemetry = nullptr;  ///< opt-in live telemetry: a
+                                  ///< sampling thread ticks the probe on its
+                                  ///< interval in wall time (queue depth,
+                                  ///< in-flight, windowed unit-latency
+                                  ///< percentiles); nullptr = off, zero cost
 };
 
 /// Executes one program instance.  `input_paths` are the staged (or source)

@@ -97,6 +97,7 @@ core::RunReport execute(Built& b, const core::AppModel& app,
   ropt.requeue_on_failure = opt.requeue_on_failure;
   ropt.tracer = opt.tracer;
   ropt.metrics = opt.metrics;
+  ropt.telemetry = opt.telemetry;
   if (opt.service.open_loop) {
     const auto akey = arrival_schedule_key(opt.service.arrivals, units.size());
     if (tmpl != nullptr && tmpl->arrival_key() == akey) {
@@ -143,7 +144,8 @@ core::RunReport execute(Built& b, const core::AppModel& app,
 }  // namespace
 
 bool fingerprintable(const PaperScenarioOptions& opt) {
-  return !opt.arrange && opt.tracer == nullptr && opt.metrics == nullptr;
+  return !opt.arrange && opt.tracer == nullptr && opt.metrics == nullptr &&
+         opt.telemetry == nullptr;
 }
 
 bool templatable(const PaperScenarioOptions& opt) { return !opt.arrange; }
@@ -181,7 +183,7 @@ std::uint64_t arrival_schedule_key(const ArrivalConfig& config, std::size_t coun
 
 void hash_options(StableHasher& h, const PaperScenarioOptions& opt) {
   FRIEDA_CHECK(fingerprintable(opt),
-               "options with arrange/tracer/metrics hooks cannot be fingerprinted");
+               "options with arrange/tracer/metrics/telemetry hooks cannot be fingerprinted");
   // Fixed field order — this is the persistent cache-key encoding.  When a
   // field is added to PaperScenarioOptions, append its mix here (changing
   // every fingerprint is fine; *omitting* a behavior-affecting field is not).

@@ -41,6 +41,8 @@ struct PaperScenarioOptions {
   obs::Tracer* tracer = nullptr;   ///< opt-in run tracing (forwarded to
                                    ///< RunOptions::tracer)
   obs::MetricsRegistry* metrics = nullptr;  ///< opt-in metrics registry
+  obs::TelemetryProbe* telemetry = nullptr;  ///< opt-in live telemetry probe
+                                   ///< (forwarded to RunOptions::telemetry)
   ServiceOptions service;          ///< open-loop arrivals + elasticity policy
   bool use_execution_templates = true;  ///< consult the process-global
                                    ///< core::TemplateStore for cached

@@ -915,6 +915,62 @@ TEST(Progress, EtaIsCostWeighted) {
   std::fclose(sink);
 }
 
+TEST(Progress, EtaExcludesMemoizedJobsFromCountFallback) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  obs::ProgressOptions popt;
+  popt.min_interval_s = 0.0;
+  popt.out = sink;
+  obs::ProgressReporter reporter(popt);
+  // Duplicate-heavy grid without cost estimates: 8 of 10 jobs were served
+  // from the cache at t=0.  After the first *real* job finishes at t=10,
+  // half the real work remains, so eta ~10s — counting the served jobs at
+  // full weight would have claimed 9/10 done and an eta near 1 s.
+  reporter.begin(10, 0.0, /*served_jobs=*/8);
+  reporter.update(9, 1, 0.0, 10.0);
+  const std::string text = read_all(sink);
+  EXPECT_NE(text.find("[9/10] 1 in flight, eta ~10s"), std::string::npos);
+  std::fclose(sink);
+}
+
+TEST(Progress, DuplicateHeavyGridReportsServedJobsWithoutSkewingEta) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  obs::ProgressOptions popt;
+  popt.min_interval_s = 0.0;
+  popt.out = sink;
+  obs::ProgressReporter reporter(popt);
+
+  // 12 jobs, only 3 distinct fingerprints: 9 are in-batch twins served at
+  // zero cost.  Zero cost estimates force the count fallback — the path
+  // that used to weight memoized jobs at full per-job cost.
+  ResultCache<int> cache;
+  SweepRunner<int> runner(SweepOptions{2});
+  runner.set_cache(&cache);
+  runner.set_progress(&reporter);
+  std::vector<Job<int>> jobs;
+  for (int i = 0; i < 12; ++i) {
+    StableHasher h;
+    const auto fp = h.mix_str("dup-eta").mix_u64(static_cast<std::uint64_t>(i % 3)).digest();
+    jobs.push_back({"dup" + std::to_string(i), [i] { return i % 3; },
+                    fp, /*cost=*/0.0});
+  }
+  const auto out = runner.run(std::move(jobs));
+  for (const auto& o : out) EXPECT_TRUE(o.ok());
+  EXPECT_EQ(runner.cache_hits(), 9u);
+
+  const std::string text = read_all(sink);
+  // Every update line counts the 9 served jobs as already complete...
+  EXPECT_NE(text.find("[10/12]"), std::string::npos);
+  EXPECT_NE(text.find("[12/12] done"), std::string::npos);
+  // ...but the first real completion must not claim the batch is 10/12
+  // done rate-wise: 2 of 3 real jobs remain, so the eta is about twice
+  // the elapsed time, far above the ~0.2x the inflated count implied.
+  // (Wall times are nondeterministic, so assert structure, not digits.)
+  EXPECT_EQ(text.find("[9/12]"), std::string::npos);  // updates fire post-completion
+  std::fclose(sink);
+}
+
 TEST(Progress, FromEnvDisabledByDefault) {
   ::unsetenv("FRIEDA_SWEEP_PROGRESS");
   EXPECT_EQ(obs::ProgressReporter::from_env(), nullptr);

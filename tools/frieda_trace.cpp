@@ -11,14 +11,21 @@
 //   frieda-trace run.json --path-csv path.csv # also export the path CSV
 //   frieda-trace run.json --check             # validate analyzer invariants
 //                                             # (exit 1 on violation; CI)
+//   frieda-trace timeline run.json            # per-channel telemetry stats,
+//                                             # ascii sparklines, SLO breaches
+//   frieda-trace timeline run.json --width 80 # wider sparklines
+//   frieda-trace timeline run.json --csv t.csv  # re-export the sampled
+//                                             # series as channel,t_s,value
 //
 // --check asserts the properties the analyzer guarantees by construction:
 // a non-empty critical path containing at least one real (non-wait) span,
 // path durations summing to the makespan, and attribution categories
 // summing to worker-seconds (percentages sum to 100 within 0.1).
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -31,9 +38,25 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.json> [--check] [--path N] [--gantt out.csv] "
-               "[--path-csv out.csv]\n",
-               argv0);
+               "[--path-csv out.csv]\n"
+               "       %s timeline <trace.json> [--width N] [--csv out.csv]\n",
+               argv0, argv0);
   return 2;
+}
+
+/// Strict non-negative integer parse for CLI counts (--path, --width):
+/// full consumption, no sign, no range overflow — same contract as the
+/// FRIEDA_SWEEP_PROGRESS interval parser, so a typo fails loudly instead of
+/// silently becoming 0.
+bool parse_count(const char* text, std::size_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  if (std::strchr(text, '-') != nullptr) return false;  // strtoul accepts "-1"
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) return false;
+  out = static_cast<std::size_t>(v);
+  return true;
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -95,19 +118,40 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string gantt_path;
   std::string path_csv_path;
+  std::string timeline_csv_path;
   std::size_t max_path_rows = 40;
+  std::size_t spark_width = 60;
   bool do_check = false;
+  bool do_timeline = false;
 
-  for (int i = 1; i < argc; ++i) {
+  int first = 1;
+  if (argc > 1 && std::strcmp(argv[1], "timeline") == 0) {
+    do_timeline = true;
+    first = 2;
+  }
+
+  for (int i = first; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strcmp(arg, "--check") == 0) {
+    if (!do_timeline && std::strcmp(arg, "--check") == 0) {
       do_check = true;
-    } else if (std::strcmp(arg, "--path") == 0 && i + 1 < argc) {
-      max_path_rows = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (std::strcmp(arg, "--gantt") == 0 && i + 1 < argc) {
+    } else if (!do_timeline && std::strcmp(arg, "--path") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], max_path_rows)) {
+        std::fprintf(stderr, "frieda-trace: --path expects a non-negative integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (!do_timeline && std::strcmp(arg, "--gantt") == 0 && i + 1 < argc) {
       gantt_path = argv[++i];
-    } else if (std::strcmp(arg, "--path-csv") == 0 && i + 1 < argc) {
+    } else if (!do_timeline && std::strcmp(arg, "--path-csv") == 0 && i + 1 < argc) {
       path_csv_path = argv[++i];
+    } else if (do_timeline && std::strcmp(arg, "--width") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], spark_width) || spark_width == 0) {
+        std::fprintf(stderr, "frieda-trace: --width expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (do_timeline && std::strcmp(arg, "--csv") == 0 && i + 1 < argc) {
+      timeline_csv_path = argv[++i];
     } else if (arg[0] == '-') {
       return usage(argv[0]);
     } else if (trace_path.empty()) {
@@ -121,6 +165,13 @@ int main(int argc, char** argv) {
   try {
     const auto events = frieda::obs::read_chrome_trace(trace_path);
     const auto analysis = frieda::obs::TraceAnalyzer::analyze(events);
+    if (do_timeline) {
+      if (!timeline_csv_path.empty()) {
+        write_file(timeline_csv_path, analysis.telemetry.series.csv());
+      }
+      std::fputs(frieda::obs::render_timeline(analysis, spark_width).c_str(), stdout);
+      return 0;
+    }
     if (!gantt_path.empty()) write_file(gantt_path, frieda::obs::gantt_csv(analysis));
     if (!path_csv_path.empty()) {
       write_file(path_csv_path, frieda::obs::critical_path_csv(analysis));
